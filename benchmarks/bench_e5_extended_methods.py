@@ -1,0 +1,121 @@
+"""E5 / section 4.5 — additional join methods, added as rule data.
+
+Claims reproduced:
+
+* 4.5.1 hash join "has shown promising performance": it wins on large
+  unindexed equality joins (where NL rescans and MG pays the sort).
+* 4.5.2 forcing projection: materializing the selected/projected inner
+  "may be advantageous ... whenever a very small percentage of the inner
+  table results (i.e., ... only a few columns are referenced)"; with an
+  inequality join (no MG/HA applicable) the projected temp beats
+  rescanning the wide heap.
+* 4.5.3 dynamic indexes: "it saves sorting the outer for a merge join,
+  and will pay for itself when the join predicate is selective" — with a
+  selective equality join on an unindexed inner, building the index at
+  run time beats both NL heap rescans and the merge join's sorts.
+
+Each strategy is toggled purely as DSL rule text (section 5): the
+optimizer binary never changes between columns of the table.
+"""
+
+from repro.bench import Table, banner
+from repro.catalog import Catalog, ColumnDef, ColumnStats, TableDef, TableStats
+from repro.optimizer import StarburstOptimizer
+from repro.stars.builtin_rules import extended_rules
+
+
+def scenario(name: str):
+    """(catalog, sql) per scenario."""
+    cat = Catalog()
+    if name == "hash-friendly":
+        cat.add_table(TableDef("O", (ColumnDef("K"), ColumnDef("V"))), TableStats(card=20_000))
+        cat.add_table(TableDef("I", (ColumnDef("K"), ColumnDef("V"))), TableStats(card=20_000))
+        for t in ("O", "I"):
+            cat.set_column_stats(t, "K", ColumnStats(n_distinct=50, low=0, high=50))
+        sql = "SELECT O.V, I.V FROM O, I WHERE O.K = I.K"
+    elif name == "projection-friendly":
+        def wide(prefix: str, n: int):
+            return tuple(
+                [ColumnDef("K")]
+                + [ColumnDef(f"{prefix}{i}", "str", width=60) for i in range(n)]
+            )
+
+        cat.add_table(TableDef("O", wide("P", 6)), TableStats(card=2_000))
+        cat.add_table(TableDef("I", wide("Q", 8)), TableStats(card=3_000))
+        cat.set_column_stats("O", "K", ColumnStats(n_distinct=2000, low=0, high=3000))
+        cat.set_column_stats("I", "K", ColumnStats(n_distinct=3000, low=0, high=3000))
+        # Expression-vs-expression inequality join: not sortable, not
+        # hashable, not indexable — nested-loop is the only method, and
+        # the contest is wide-heap rescans vs. a narrow projected temp.
+        sql = "SELECT O.P0, I.Q0 FROM O, I WHERE I.K + 0 < O.K + 0"
+    elif name == "dynamic-index-friendly":
+        cat.add_table(TableDef("O", (ColumnDef("K"), ColumnDef("V"))), TableStats(card=5_000))
+        cat.add_table(
+            TableDef("I", (ColumnDef("K"), ColumnDef("V"), ColumnDef("P", "str"))),
+            TableStats(card=50_000),
+        )
+        cat.set_column_stats("O", "K", ColumnStats(n_distinct=5_000, low=0, high=50_000))
+        cat.set_column_stats("I", "K", ColumnStats(n_distinct=50_000, low=0, high=50_000))
+        sql = "SELECT O.V, I.P FROM O, I WHERE O.K = I.K"
+    else:
+        raise ValueError(name)
+    return cat, sql
+
+
+RULE_SETS = {
+    "base (4.1-4.4)": dict(hash_join=False, forced_projection=False, dynamic_index=False),
+    "+hash (4.5.1)": dict(hash_join=True, forced_projection=False, dynamic_index=False),
+    "+proj (4.5.2)": dict(hash_join=False, forced_projection=True, dynamic_index=False),
+    "+dynix (4.5.3)": dict(hash_join=False, forced_projection=False, dynamic_index=True),
+    "all (4.5.*)": dict(hash_join=True, forced_projection=True, dynamic_index=True),
+}
+
+
+def run_experiment() -> str:
+    lines = [
+        banner(
+            "E5 / section 4.5 — extended join methods as rule data",
+            "Each added strategy wins in the regime the paper motivates it for.",
+        )
+    ]
+    table = Table(["scenario"] + list(RULE_SETS) + ["winner"])
+    # Each scenario's winner is judged among the methods the paper
+    # positions against each other.  The dynamic-index alternative is
+    # motivated against R*'s repertoire (sorting for a merge join) —
+    # hash joins were not in R*, so that row excludes the hash column.
+    expectations = {
+        "hash-friendly": ("+hash (4.5.1)", set(RULE_SETS) - {"all (4.5.*)"}),
+        "projection-friendly": ("+proj (4.5.2)", set(RULE_SETS) - {"all (4.5.*)"}),
+        "dynamic-index-friendly": (
+            "+dynix (4.5.3)",
+            {"base (4.1-4.4)", "+proj (4.5.2)", "+dynix (4.5.3)"},
+        ),
+    }
+    checks = []
+    for name, (expected, compare) in expectations.items():
+        cat, sql = scenario(name)
+        costs = {}
+        for label, toggles in RULE_SETS.items():
+            optimizer = StarburstOptimizer(cat, rules=extended_rules(**toggles))
+            costs[label] = optimizer.optimize(sql).best_cost
+        winner = min(compare, key=lambda k: costs[k])
+        table.add(name, *[f"{costs[k]:,.0f}" for k in RULE_SETS], winner)
+        checks.append(winner == expected)
+        # The full repertoire is never worse than any subset.
+        checks.append(costs["all (4.5.*)"] <= min(costs.values()) + 1e-9)
+    lines.append(str(table))
+    lines.append("")
+    lines.append("(cells are best-plan estimated costs; lower is better;")
+    lines.append(" the dynamic-index row's winner is judged within R*'s repertoire,")
+    lines.append(" i.e. excluding the hash column, as the paper positions it)")
+    lines.append(
+        f"RESULT: {'EACH EXTENSION WINS ITS REGIME' if all(checks) else 'UNEXPECTED WINNER'} "
+        f"({sum(checks)}/{len(checks)} checks)"
+    )
+    return "\n".join(lines)
+
+
+def test_e5_extended_methods(benchmark, report):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert "EACH EXTENSION WINS ITS REGIME" in text
+    report(text)

@@ -1,0 +1,121 @@
+"""E7 / section 5 — extensibility: what's really involved.
+
+Claim reproduced: "Easiest to change are the STARs themselves ... new
+STARs can be added to that file without impacting the Starburst system
+code at all."  Starting from the 4.1-4.4 repertoire, each 4.5.x strategy
+is added *as rule text only* at run time; the bench reports, per added
+strategy: the lines of rule text, the growth of the JMeth STAR, the
+growth of the plan repertoire for the paper's query, and the best-cost
+improvement on a workload that exercises the strategy.
+"""
+
+from repro.bench import Table, banner
+from repro.optimizer import StarburstOptimizer
+from repro.plans.operators import JOIN
+from repro.stars.builtin_rules import (
+    DYNAMIC_INDEX_RULES,
+    FORCED_PROJECTION_RULES,
+    HASH_JOIN_RULES,
+    default_rules,
+)
+from repro.stars.dsl import parse_rules
+from repro.stars.validate import validate_rules
+from repro.stars.registry import default_registry
+from repro.workloads.paper import figure1_query, paper_catalog, paper_database
+
+
+def rule_lines(text: str) -> int:
+    return sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith(("#", "//"))
+    )
+
+
+def run_experiment() -> str:
+    catalog = paper_catalog()
+    paper_database(catalog)
+    query = figure1_query(catalog)
+    registry = default_registry()
+
+    lines = [
+        banner(
+            "E7 / section 5 — extensibility: strategies as data",
+            "Each 4.5.x strategy plugs in as rule text; no engine change.",
+        )
+    ]
+    table = Table(
+        [
+            "rule set",
+            "DSL lines added",
+            "JMeth alternatives",
+            "final plans",
+            "join flavors",
+            "best cost",
+        ]
+    )
+
+    rules = default_rules()
+    additions = [
+        ("base (4.1-4.4)", None),
+        ("+ hash join (4.5.1)", HASH_JOIN_RULES),
+        ("+ forced projection (4.5.2)", FORCED_PROJECTION_RULES),
+        ("+ dynamic index (4.5.3)", DYNAMIC_INDEX_RULES),
+    ]
+    costs = []
+    for label, text in additions:
+        if text is not None:
+            parse_rules(text, base=rules)  # the entire "upgrade"
+            assert validate_rules(rules, registry).ok
+        result = StarburstOptimizer(catalog, rules=rules, registry=registry).optimize(query)
+        flavors = sorted(
+            {
+                n.flavor
+                for p in result.engine.plan_table.all_plans()
+                for n in p.nodes()
+                if n.op == JOIN
+            }
+        )
+        costs.append(result.best_cost)
+        table.add(
+            label,
+            rule_lines(text) if text else rule_lines(""),
+            len(rules.get("JMeth").alternatives),
+            len(result.alternatives),
+            "/".join(flavors),
+            result.best_cost,
+        )
+    lines.append(str(table))
+    monotone = all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+    lines.append("")
+    lines.append(
+        "best cost never degrades as strategies are added "
+        f"(a bigger repertoire only helps): {monotone}"
+    )
+    lines.append(
+        "every upgrade was pure DSL text validated by the static rule checker;"
+    )
+    lines.append("zero optimizer-engine code changed between rows.")
+    lines.append("")
+    lines.append(f"RESULT: {'EXTENSIBLE AS CLAIMED' if monotone else 'COST REGRESSION'}")
+    return "\n".join(lines)
+
+
+def test_e7_extensibility(benchmark, report):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert "EXTENSIBLE AS CLAIMED" in text
+    report(text)
+
+
+def test_e7_rule_parse_speed(benchmark):
+    """Parsing + validating the full rule repertoire (the cost of a
+    'strategy upgrade' in the interpreted setting)."""
+    from repro.stars.builtin_rules import extended_rules
+
+    def build():
+        rules = extended_rules()
+        validate_rules(rules, default_registry(), raise_on_error=True)
+        return rules
+
+    rules = benchmark(build)
+    assert len(rules) >= 8

@@ -1,0 +1,113 @@
+"""E8 / section 3 — do the property functions order plans sensibly?
+
+The paper inherits R*'s "well established and validated" cost equations
+[MACK 86].  Our substitute model must at least *rank* plans correctly:
+for each query we execute every surviving alternative, measure actual
+page I/O and tuple flow, and report (a) the rank correlation between
+estimated total cost and actual I/O across alternatives and (b) the
+estimated-vs-actual cardinality of the best plan.  A positive correlation
+and same-order-of-magnitude cardinalities mean the optimizer's choices
+are grounded.
+"""
+
+from scipy.stats import spearmanr
+
+from repro.bench import Table, banner
+from repro.executor import QueryExecutor
+from repro.optimizer import StarburstOptimizer
+from repro.query.parser import parse_query
+from repro.workloads.generator import chain_workload, star_workload
+from repro.workloads.paper import figure1_query, paper_catalog, paper_database
+
+
+def queries():
+    cat = paper_catalog()
+    db = paper_database(cat)
+    yield "fig1", cat, db, figure1_query(cat)
+    yield "fig1+order", cat, db, parse_query(
+        "SELECT NAME, MGR FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO "
+        "AND MGR = 'Haas' ORDER BY NAME",
+        cat,
+    )
+    yield "range", cat, db, parse_query(
+        "SELECT NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO "
+        "AND SALARY < 60000 AND MGR = 'Lindsay'",
+        cat,
+    )
+    for wl in (
+        chain_workload(3, rows=120, seed=21, selection=0.4),
+        chain_workload(3, rows=150, seed=22),
+        star_workload(4, rows=80, seed=23),
+    ):
+        yield wl.name, wl.catalog, wl.database, wl.query
+
+
+def run_experiment() -> str:
+    lines = [
+        banner(
+            "E8 / section 3 — estimated vs. actual cost and cardinality",
+            "Cost estimates must rank plans like actual resource usage does.",
+        )
+    ]
+    table = Table(
+        [
+            "query",
+            "plans",
+            "rank corr (est cost vs actual IO)",
+            "est card",
+            "actual rows",
+            "best plan correct?",
+        ]
+    )
+    correlations = []
+    choices_ok = []
+    for name, cat, db, query in queries():
+        result = StarburstOptimizer(cat).optimize(query)
+        executor = QueryExecutor(db)
+        model = result.engine.ctx.model
+        estimates, actuals = [], []
+        actual_by_digest = {}
+        for plan in result.alternatives:
+            _, stats = executor.run_plan(plan)
+            estimates.append(model.total(plan.props.cost))
+            actual = stats.total_io + 0.002 * stats.tuples_flowed
+            actuals.append(actual)
+            actual_by_digest[plan.digest] = actual
+        if len(estimates) >= 3:
+            corr = spearmanr(estimates, actuals).statistic
+        elif len(estimates) == 2:
+            corr = 1.0 if (estimates[0] < estimates[1]) == (actuals[0] < actuals[1]) else -1.0
+        else:
+            corr = 1.0
+        correlations.append(corr)
+        # Was the chosen plan actually (near-)best?
+        best_actual = actual_by_digest[result.best_plan.digest]
+        choice_ok = best_actual <= 1.5 * min(actuals)
+        choices_ok.append(choice_ok)
+        rows, _ = executor.run_plan(result.best_plan)
+        table.add(
+            name,
+            len(result.alternatives),
+            f"{corr:+.2f}",
+            f"{result.best_plan.props.card:,.0f}",
+            len(rows),
+            choice_ok,
+        )
+    lines.append(str(table))
+    mean_corr = sum(correlations) / len(correlations)
+    lines.append("")
+    lines.append(f"mean rank correlation: {mean_corr:+.2f}")
+    lines.append(
+        f"chosen plan within 1.5x of the actually-best alternative: "
+        f"{sum(choices_ok)}/{len(choices_ok)} queries"
+    )
+    ok = mean_corr > 0.5 and sum(choices_ok) >= len(choices_ok) - 1
+    lines.append("")
+    lines.append(f"RESULT: {'ESTIMATES RANK PLANS CORRECTLY' if ok else 'ESTIMATES UNRELIABLE'}")
+    return "\n".join(lines)
+
+
+def test_e8_cost_fidelity(benchmark, report):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert "RANK PLANS CORRECTLY" in text
+    report(text)

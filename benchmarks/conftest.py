@@ -1,0 +1,22 @@
+"""Benchmark plumbing.
+
+Every experiment module exposes ``run_experiment() -> str`` returning its
+printed report.  The pytest-benchmark fixture times the experiment body
+(so ``pytest benchmarks/ --benchmark-only`` both measures and prints),
+and the report is emitted uncaptured so it lands in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print an experiment report past pytest's capture."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return emit

@@ -1,0 +1,117 @@
+"""repro — a reproduction of Lohman's STARs optimizer (SIGMOD 1988).
+
+"Grammar-like Functional Rules for Representing Query Optimization
+Alternatives" describes the Starburst rule-based optimizer: constructive,
+grammar-like STrategy Alternative Rules (STARs) that compose low-level
+database operators (LOLEPOPs) into query evaluation plans, property
+vectors tracking what each plan produces, and a Glue mechanism that
+injects veneer operators to satisfy required properties.
+
+Quickstart::
+
+    from repro import StarburstOptimizer, QueryExecutor
+    from repro.workloads import paper_catalog, paper_database, figure1_query
+
+    catalog = paper_catalog()
+    database = paper_database(catalog)
+    optimizer = StarburstOptimizer(catalog)
+    result = optimizer.optimize(figure1_query(catalog))
+    print(result.explain())
+    rows = QueryExecutor(database).run(result.query, result.best_plan)
+
+Package map (see DESIGN.md for the full inventory):
+
+================  ==========================================================
+``repro.stars``    the paper's contribution: rule AST, DSL, engine, Glue
+``repro.plans``    LOLEPOPs, plan DAGs, property vectors, SAPs
+``repro.cost``     property functions, cost model, selectivity
+``repro.optimizer``  bottom-up join enumeration + public facade
+``repro.executor``   the query evaluator (run-time LOLEPOP routines)
+``repro.baseline``   EXODUS-style transformational optimizer (comparison)
+``repro.catalog``    schemas, access paths, sites, statistics
+``repro.storage``    heaps, B-trees, stored/temp tables
+``repro.query``      expressions, predicates, SQL parser, query blocks
+``repro.workloads``  the paper's EMP/DEPT scenario + synthetic generators
+================  ==========================================================
+"""
+
+from repro.catalog import (
+    AccessPath,
+    Catalog,
+    ColumnDef,
+    ColumnStats,
+    SiteDef,
+    TableDef,
+    TableStats,
+)
+from repro.config import OptimizerConfig
+from repro.cost import Cost, CostModel, CostWeights
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    ExpansionError,
+    GlueError,
+    OptimizationError,
+    ParseError,
+    QueryError,
+    ReproError,
+    RuleError,
+    StorageError,
+)
+from repro.executor import QueryExecutor, naive_evaluate
+from repro.optimizer import OptimizationResult, StarburstOptimizer
+from repro.plans import PlanNode, PropertyVector, Requirements, SAP, Stream
+from repro.plans.plan import render_functional, render_tree
+from repro.query import QueryBlock, parse_predicate, parse_query
+from repro.stars import StarEngine, parse_rules, validate_rules
+from repro.stars.builtin_rules import default_rules, extended_rules
+from repro.storage import Database
+from repro.baseline import TransformationalOptimizer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPath",
+    "Catalog",
+    "CatalogError",
+    "ColumnDef",
+    "ColumnStats",
+    "Cost",
+    "CostModel",
+    "CostWeights",
+    "Database",
+    "ExecutionError",
+    "ExpansionError",
+    "GlueError",
+    "OptimizationError",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "ParseError",
+    "PlanNode",
+    "PropertyVector",
+    "QueryBlock",
+    "QueryError",
+    "QueryExecutor",
+    "ReproError",
+    "Requirements",
+    "RuleError",
+    "SAP",
+    "SiteDef",
+    "StarEngine",
+    "StarburstOptimizer",
+    "StorageError",
+    "Stream",
+    "TableDef",
+    "TableStats",
+    "TransformationalOptimizer",
+    "default_rules",
+    "extended_rules",
+    "naive_evaluate",
+    "parse_predicate",
+    "parse_query",
+    "parse_rules",
+    "render_functional",
+    "render_tree",
+    "validate_rules",
+    "__version__",
+]

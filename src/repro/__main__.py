@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``demo`` — optimize and run the paper's Figure-1 query end to end.
+* ``optimize SQL`` — plan (and optionally execute) a query against a
+  built-in workload; ``--trace`` prints the STAR expansion trace.
+* ``rules`` — print the builtin rule repertoire, or statically validate
+  a Database Customizer's rule file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    OptimizerConfig,
+    QueryExecutor,
+    ReproError,
+    StarburstOptimizer,
+    naive_evaluate,
+    parse_rules,
+    render_tree,
+    validate_rules,
+)
+from repro.stars.builtin_rules import (
+    BASE_RULES,
+    default_rules,
+    extended_rules,
+)
+from repro.stars.registry import default_registry
+from repro.workloads import (
+    chain_workload,
+    clique_workload,
+    figure1_query,
+    paper_catalog,
+    paper_database,
+    star_workload,
+)
+
+
+def _load_workload(spec: str):
+    """Workload spec: 'paper', 'paper-distributed', or 'chain:4' etc."""
+    if spec in ("paper", "paper-distributed"):
+        catalog = paper_catalog(distributed=spec.endswith("distributed"))
+        database = paper_database(catalog)
+        return catalog, database
+    if ":" in spec:
+        shape, _, count = spec.partition(":")
+        makers = {"chain": chain_workload, "star": star_workload, "clique": clique_workload}
+        if shape in makers:
+            wl = makers[shape](int(count))
+            return wl.catalog, wl.database
+    raise SystemExit(
+        f"unknown workload {spec!r}: use paper, paper-distributed, "
+        "chain:N, star:N, or clique:N"
+    )
+
+
+def _rule_set(name: str):
+    if name == "base":
+        return default_rules()
+    if name == "extended":
+        return extended_rules()
+    if name == "all":
+        return extended_rules(tid_sort=True, or_index=True, and_index=True, semijoin=True)
+    raise SystemExit(f"unknown rule set {name!r}: use base, extended, or all")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    catalog = paper_catalog(distributed=args.distributed)
+    database = paper_database(catalog)
+    query = figure1_query(catalog)
+    result = StarburstOptimizer(catalog).optimize(query)
+    print(result.explain())
+    answer = QueryExecutor(database).run(query, result.best_plan)
+    print(f"\nexecuted: {len(answer)} rows, {answer.stats.total_io} page I/Os")
+    reference = naive_evaluate(query, database)
+    ok = answer.as_multiset() == reference.as_multiset()
+    print("differential check vs naive evaluator:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    catalog, database = _load_workload(args.workload)
+    config = OptimizerConfig(trace=args.trace)
+    optimizer = StarburstOptimizer(catalog, rules=_rule_set(args.rules), config=config)
+    result = optimizer.optimize(args.sql)
+    print(f"query: {result.query}")
+    print(f"alternatives surviving: {len(result.alternatives)}")
+    print(f"estimated cost: {result.best_cost:.2f} ({result.best_plan.props.cost})")
+    print(render_tree(result.best_plan, show_properties=True))
+    if args.trace:
+        print("\nexpansion trace:")
+        print(result.engine.trace())
+    if args.execute:
+        answer = QueryExecutor(database).run(result.query, result.best_plan)
+        print(f"\nexecuted: {len(answer)} rows, {answer.stats.total_io} page I/Os, "
+              f"{answer.stats.tuples_flowed} tuples flowed")
+        limit = args.limit
+        for row in answer.rows[:limit]:
+            print("  ", dict(zip(answer.columns, row)))
+        if len(answer.rows) > limit:
+            print(f"   ... {len(answer.rows) - limit} more")
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    if args.validate is not None:
+        with open(args.validate) as handle:
+            text = handle.read()
+        rules = parse_rules(text, base=default_rules() if args.extend_builtin else None)
+        report = validate_rules(rules, registry)
+        for error in report.errors:
+            print(f"error: {error}")
+        for warning in report.warnings:
+            print(f"warning: {warning}")
+        print("rule set is", "VALID" if report.ok else "INVALID")
+        return 0 if report.ok else 1
+    if args.show_dsl:
+        print(BASE_RULES.strip())
+        return 0
+    for star in _rule_set(args.rules):
+        print(star)
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Starburst STARs optimizer (Lohman, SIGMOD 1988) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the paper's Figure-1 query end to end")
+    demo.add_argument("--distributed", action="store_true",
+                      help="use the Figure-3 two-site placement")
+    demo.set_defaults(fn=cmd_demo)
+
+    optimize = sub.add_parser("optimize", help="plan (and run) a SQL query")
+    optimize.add_argument("sql", help="a SELECT statement")
+    optimize.add_argument("--workload", default="paper",
+                          help="paper | paper-distributed | chain:N | star:N | clique:N")
+    optimize.add_argument("--rules", default="extended",
+                          help="base | extended | all (adds TID-sort and index OR-ing)")
+    optimize.add_argument("--execute", action="store_true", help="run the chosen plan")
+    optimize.add_argument("--trace", action="store_true", help="print the expansion trace")
+    optimize.add_argument("--limit", type=int, default=10, help="rows to print")
+    optimize.set_defaults(fn=cmd_optimize)
+
+    rules = sub.add_parser("rules", help="print or validate rule sets")
+    rules.add_argument("--rules", default="extended", help="base | extended | all")
+    rules.add_argument("--show-dsl", action="store_true",
+                       help="print the base repertoire's DSL source text")
+    rules.add_argument("--validate", metavar="FILE",
+                       help="statically validate a rule file")
+    rules.add_argument("--extend-builtin", action="store_true",
+                       help="validate FILE as an extension of the builtin rules")
+    rules.set_defaults(fn=cmd_rules)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""An EXODUS-style transformational optimizer (the paper's comparison).
+
+Section 6 contrasts STARs with the EXODUS optimizer generator
+[GRAE 87a/b]: "Given one initial plan, this code generates all legal
+variations of that plan using two kinds of rules: transformation rules to
+define alternative transformations of a plan, and implementation rules to
+define alternative methods for implementing an operator."
+
+This package implements that architecture over the *same* substrate
+(catalog, predicates, plan factory, cost model) so experiment E6 can
+compare the work each rule architecture performs for the same search
+space: pattern-match attempts and rule applications here versus
+dictionary-dispatch STAR references there.
+"""
+
+from repro.baseline.exodus import BaselineResult, TransformationalOptimizer
+from repro.baseline.logical import LogicalJoin, LogicalScan, canonical
+
+__all__ = [
+    "BaselineResult",
+    "LogicalJoin",
+    "LogicalScan",
+    "TransformationalOptimizer",
+    "canonical",
+]

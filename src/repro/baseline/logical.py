@@ -1,0 +1,214 @@
+"""Logical join trees and transformation rules for the baseline.
+
+The transformational search keeps a memo of logical operator trees.  Each
+iteration matches every transformation rule against every node of every
+tree — exactly the cost the paper attributes to plan-transformation
+systems: "plan transformation rules usually must examine a large set of
+rules and apply complicated conditions on each of a large set of plans
+generated thus far, in order to determine if that plan matches the
+pattern to which that rule applies" (section 1).
+
+Rules implemented (the EXODUS join set):
+
+* ``commute``:   JOIN(A, B)            → JOIN(B, A)
+* ``assoc_lr``:  JOIN(JOIN(A, B), C)   → JOIN(A, JOIN(B, C))
+* ``assoc_rl``:  JOIN(A, JOIN(B, C))   → JOIN(JOIN(A, B), C)
+
+Each rule has a *condition*: the rewritten tree must not introduce a
+Cartesian product (unless configured), which requires examining the join
+graph — a genuinely complicated condition, counted per evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.query.query import QueryBlock
+
+
+@dataclass(frozen=True, slots=True)
+class LogicalScan:
+    """A base-table leaf."""
+
+    table: str
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return frozenset([self.table])
+
+    def __str__(self) -> str:
+        return self.table
+
+
+@dataclass(frozen=True, slots=True)
+class LogicalJoin:
+    """A logical (method-free) join of two subtrees."""
+
+    left: "LogicalScan | LogicalJoin"
+    right: "LogicalScan | LogicalJoin"
+
+    @property
+    def tables(self) -> frozenset[str]:
+        return self.left.tables | self.right.tables
+
+    def __str__(self) -> str:
+        return f"({self.left} ⋈ {self.right})"
+
+
+LogicalTree = LogicalScan | LogicalJoin
+
+
+def canonical(tree: LogicalTree) -> str:
+    """Canonical text of a tree (identity in the memo)."""
+    return str(tree)
+
+
+def initial_tree(query: QueryBlock) -> LogicalTree:
+    """The initial plan: a left-deep tree in FROM-list order."""
+    tree: LogicalTree = LogicalScan(query.tables[0])
+    for table in query.tables[1:]:
+        tree = LogicalJoin(tree, LogicalScan(table))
+    return tree
+
+
+def subtrees(tree: LogicalTree) -> Iterator[LogicalTree]:
+    yield tree
+    if isinstance(tree, LogicalJoin):
+        yield from subtrees(tree.left)
+        yield from subtrees(tree.right)
+
+
+def replace_subtree(
+    tree: LogicalTree, old: LogicalTree, new: LogicalTree
+) -> LogicalTree:
+    """The tree with one occurrence of ``old`` replaced by ``new``."""
+    if tree is old:
+        return new
+    if isinstance(tree, LogicalJoin):
+        left = replace_subtree(tree.left, old, new)
+        if left is not tree.left:
+            return LogicalJoin(left, tree.right)
+        right = replace_subtree(tree.right, old, new)
+        if right is not tree.right:
+            return LogicalJoin(tree.left, right)
+    return tree
+
+
+@dataclass
+class TransformStats:
+    """Work counters for the transformational search."""
+
+    trees_generated: int = 0
+    match_attempts: int = 0
+    rule_applications: int = 0
+    condition_evaluations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "trees_generated": self.trees_generated,
+            "match_attempts": self.match_attempts,
+            "rule_applications": self.rule_applications,
+            "condition_evaluations": self.condition_evaluations,
+        }
+
+
+class TransformationRule:
+    """One pattern → rewrite rule with a condition of applicability."""
+
+    def __init__(
+        self,
+        name: str,
+        matcher: Callable[[LogicalTree], LogicalTree | None],
+    ):
+        self.name = name
+        self._matcher = matcher
+
+    def try_apply(self, node: LogicalTree, stats: TransformStats) -> LogicalTree | None:
+        stats.match_attempts += 1
+        return self._matcher(node)
+
+
+def _commute(node: LogicalTree) -> LogicalTree | None:
+    if isinstance(node, LogicalJoin):
+        return LogicalJoin(node.right, node.left)
+    return None
+
+
+def _assoc_lr(node: LogicalTree) -> LogicalTree | None:
+    if isinstance(node, LogicalJoin) and isinstance(node.left, LogicalJoin):
+        inner = node.left
+        return LogicalJoin(inner.left, LogicalJoin(inner.right, node.right))
+    return None
+
+
+def _assoc_rl(node: LogicalTree) -> LogicalTree | None:
+    if isinstance(node, LogicalJoin) and isinstance(node.right, LogicalJoin):
+        inner = node.right
+        return LogicalJoin(LogicalJoin(node.left, inner.left), inner.right)
+    return None
+
+
+JOIN_TRANSFORMATIONS = (
+    TransformationRule("commute", _commute),
+    TransformationRule("assoc_lr", _assoc_lr),
+    TransformationRule("assoc_rl", _assoc_rl),
+)
+
+
+def closure(
+    query: QueryBlock,
+    stats: TransformStats,
+    allow_cartesian: bool = False,
+    max_trees: int = 200_000,
+) -> list[LogicalTree]:
+    """All logical trees reachable from the initial plan by exhaustive
+    rule application (the EXODUS search loop)."""
+    edges = query.join_graph_edges()
+
+    def no_cartesian(tree: LogicalTree) -> bool:
+        stats.condition_evaluations += 1
+        for node in subtrees(tree):
+            if isinstance(node, LogicalJoin):
+                if not _linked(node.left.tables, node.right.tables, edges):
+                    return False
+        return True
+
+    def _linked(left: frozenset[str], right: frozenset[str], edge_set) -> bool:
+        for edge in edge_set:
+            if edge & left and edge & right:
+                return True
+        return False
+
+    # Only Cartesian-free trees are explored further (the standard
+    # search-space restriction; the condition is still *evaluated* for
+    # every candidate rewrite, which is exactly the per-rewrite work the
+    # paper's section 1 describes).
+    start = initial_tree(query)
+    seen: dict[str, LogicalTree] = {canonical(start): start}
+    queue = []
+    results = []
+    if allow_cartesian or no_cartesian(start):
+        queue.append(start)
+        results.append(start)
+    while queue:
+        tree = queue.pop()
+        for node in subtrees(tree):
+            for rule in JOIN_TRANSFORMATIONS:
+                rewritten_node = rule.try_apply(node, stats)
+                if rewritten_node is None:
+                    continue
+                new_tree = replace_subtree(tree, node, rewritten_node)
+                key = canonical(new_tree)
+                if key in seen:
+                    continue
+                seen[key] = new_tree
+                if not (allow_cartesian or no_cartesian(new_tree)):
+                    continue
+                stats.rule_applications += 1
+                stats.trees_generated += 1
+                if len(results) > max_trees:
+                    raise RuntimeError("transformational closure exceeded max_trees")
+                queue.append(new_tree)
+                results.append(new_tree)
+    return results

@@ -1,0 +1,10 @@
+"""Benchmark harness: experiment runners and table/series reporting.
+
+Each experiment (E1-E9, see DESIGN.md section 2) lives in
+``benchmarks/bench_e*.py`` and uses :mod:`repro.bench.reporting` to print
+the rows/series the paper's reader would check.
+"""
+
+from repro.bench.reporting import Table, banner, series
+
+__all__ = ["Table", "banner", "series"]

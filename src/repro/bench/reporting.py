@@ -1,0 +1,61 @@
+"""Plain-text tables and series for the benchmark reports.
+
+Kept dependency-free so the benchmark output (tee'd into
+``bench_output.txt``) stays grep-able: one experiment banner, then rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def banner(experiment: str, claim: str) -> str:
+    """A header naming the experiment and the paper claim under test."""
+    line = "=" * 78
+    return f"\n{line}\n{experiment}\n{claim}\n{line}"
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        rule = "  ".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def series(label: str, points: Iterable[tuple[Any, Any]]) -> str:
+    """A one-line x→y series rendering for figure-style results."""
+    body = "  ".join(f"{_fmt(x)}:{_fmt(y)}" for x, y in points)
+    return f"{label}: {body}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,26 @@
+"""System catalog: table schemas, access paths, sites, and statistics.
+
+The catalog plays the role described in section 3.1 of the paper: the
+properties of stored objects (tables and access methods) are *initially*
+determined from the system catalogs — constituent columns (COLS), the SITE
+at which the table is stored, and the access PATHS defined on it.
+"""
+
+from repro.catalog.schema import (
+    AccessPath,
+    ColumnDef,
+    SiteDef,
+    TableDef,
+)
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "AccessPath",
+    "Catalog",
+    "ColumnDef",
+    "ColumnStats",
+    "SiteDef",
+    "TableDef",
+    "TableStats",
+]

@@ -1,0 +1,16 @@
+"""Cost model: cost vectors, selectivity estimation, property functions.
+
+The paper (section 3.1) requires "a property function for each LOLEPOP
+... passed the arguments of the LOLEPOP, including the property vector for
+arguments that are STARs or LOLEPOPs, and returns the revised property
+vector", and cites the validated R* cost equations [MACK 86].  This
+package supplies both: :mod:`repro.cost.propfuncs` holds one property
+function per LOLEPOP flavor, and :mod:`repro.cost.model` the cost vector
+(total resources = a linear combination of I/O, CPU, and communication
+[LOHM 85]) plus System-R-style selectivity estimation.
+"""
+
+from repro.cost.model import Cost, CostModel, CostWeights
+from repro.cost.selectivity import Selectivity
+
+__all__ = ["Cost", "CostModel", "CostWeights", "Selectivity"]

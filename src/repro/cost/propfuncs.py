@@ -1,0 +1,850 @@
+"""Property functions: one per LOLEPOP flavor (paper section 3.1).
+
+"Each LOLEPOP changes selected properties, including adding cost, in a
+way determined by the arguments of its reference and the properties of
+any arguments that are plans. ... These changes, including the
+appropriate cost and cardinality estimates, are defined in Starburst by a
+property function for each LOLEPOP."
+
+:class:`PlanFactory` is the single gateway for building plan nodes: every
+constructor computes the output property vector from the operator's
+arguments and its inputs' vectors.  This enforces the paper's invariant
+that plan properties "may be altered only by LOLEPOPs" (section 7) — STAR
+code never touches a property vector directly.
+
+Each property function also computes ``rescan_cost``: the cost of
+producing the stream a *second* time.  Materializing operators (STORE,
+SORT with spill, BUILDIX) make rescans cheap; pipelined operators recompute.
+The nested-loop join charges ``(outer.card - 1) × inner.rescan_cost``,
+which is precisely what makes the paper's store-inner (4.3), forced
+projection (4.5.2) and dynamic index (4.5.3) alternatives win in the
+right regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import AccessPath
+from repro.cost.model import (
+    Cost,
+    CostModel,
+    HASH_MEMORY_PAGES,
+    SORT_MEMORY_PAGES,
+)
+from repro.cost.selectivity import Selectivity
+from repro.errors import ReproError
+from repro.plans.operators import (
+    ACCESS,
+    BUILDIX,
+    DEDUP,
+    FILTER,
+    INTERSECT,
+    PROJECT,
+    GET,
+    JOIN,
+    SHIP,
+    SORT,
+    STORE,
+    UNION,
+)
+from repro.plans.plan import PlanNode, make_params, plan_digest
+from repro.plans.properties import OrderSpec, PropertyVector, order_satisfies
+from repro.query.expressions import ColumnRef
+from repro.query.predicates import Predicate, sargable_column
+from repro.storage.table import TID_NAME, tid_column
+
+MIN_CARD = 0.01
+
+
+def index_matching_predicates(
+    path_columns: tuple[str, ...],
+    table: str,
+    preds: Iterable[Predicate],
+    bound_tables: frozenset[str],
+) -> tuple[frozenset[Predicate], int]:
+    """Predicates a B-tree access can apply as search arguments.
+
+    Walks the index key left to right: each column consumes one equality
+    predicate; the first column with only a range predicate ends the
+    match (classic B-tree matching).  Returns the matched predicates and
+    the number of leading key columns matched by equality.
+    """
+    remaining = list(preds)
+    matched: list[Predicate] = []
+    eq_prefix = 0
+    for key_col in path_columns:
+        eq_pred = None
+        range_preds = []
+        for pred in remaining:
+            sarg = sargable_column(pred, table, bound_tables)
+            if sarg is None or sarg[0].column != key_col:
+                continue
+            if sarg[1] == "=":
+                eq_pred = pred
+            elif sarg[1] in ("<", "<=", ">", ">="):
+                range_preds.append(pred)
+        if eq_pred is not None:
+            matched.append(eq_pred)
+            remaining.remove(eq_pred)
+            eq_prefix += 1
+            continue
+        # A range predicate on this column ends the eligible prefix.
+        for pred in range_preds:
+            matched.append(pred)
+            remaining.remove(pred)
+        break
+    return frozenset(matched), eq_prefix
+
+
+class PlanFactory:
+    """Builds plan nodes, computing property vectors as it goes."""
+
+    def __init__(self, catalog: Catalog, model: CostModel | None = None):
+        self.catalog = catalog
+        self.model = model if model is not None else CostModel(catalog)
+        self.selectivity = Selectivity(catalog)
+
+    # -- shared estimation helpers --------------------------------------------
+
+    def _sel(self, preds: Iterable[Predicate], own_tables: frozenset[str]) -> float:
+        """Joint selectivity; columns outside ``own_tables`` are bound by
+        an enclosing nested-loop join (sideways information passing)."""
+        sel = 1.0
+        for pred in preds:
+            bound = pred.tables() - own_tables
+            sel *= self.selectivity.predicate(pred, bound_tables=bound)
+        return sel
+
+    def _card(self, base: float, preds: Iterable[Predicate], own: frozenset[str]) -> float:
+        return max(MIN_CARD, base * self._sel(preds, own))
+
+    def _pages(self, card: float, cols: frozenset[ColumnRef]) -> float:
+        return self.model.stream_pages(card, cols)
+
+    # -- ACCESS ----------------------------------------------------------------
+
+    def access_base(
+        self,
+        table: str,
+        columns: Iterable[ColumnRef],
+        preds: Iterable[Predicate],
+    ) -> PlanNode:
+        """Sequential ACCESS of a stored base table: flavor ``heap`` for a
+        heap table, ``btree`` for a B-tree-organized table (whose scan
+        delivers key order) — the two TableAccess flavors of 4.5.2."""
+        tdef = self.catalog.table(table)
+        columns = frozenset(columns)
+        preds = frozenset(preds)
+        own = frozenset([table])
+        base_card = self.model.table_card(table)
+        card = self._card(base_card, preds, own)
+        order: OrderSpec = ()
+        if tdef.storage == "btree":
+            order = tuple(ColumnRef(table, c) for c in tdef.key)
+        scan_cost = Cost(io=self.model.table_pages(table), cpu=base_card)
+        props = PropertyVector(
+            tables=own,
+            cols=columns,
+            preds=preds,
+            order=order,
+            site=tdef.site,
+            temp=False,
+            paths=frozenset(),
+            stored_as=None,
+            card=card,
+            cost=scan_cost,
+            rescan_cost=scan_cost,
+        )
+        return PlanNode(
+            op=ACCESS,
+            flavor=tdef.storage,
+            params=make_params(table=table, path=None, columns=columns, preds=preds),
+            inputs=(),
+            props=props,
+        )
+
+    def access_index(
+        self,
+        table: str,
+        path: AccessPath,
+        columns: Iterable[ColumnRef] | None = None,
+        preds: Iterable[Predicate] = (),
+    ) -> PlanNode:
+        """ACCESS of an index on a base table.
+
+        Delivers the key columns plus the TID (Figure 1) in key order.
+        A clustered index also delivers the full row, so ``columns`` may
+        then name any table column.
+        """
+        preds = frozenset(preds)
+        own = frozenset([table])
+        key_cols = frozenset(ColumnRef(table, c) for c in path.columns)
+        available = key_cols | {tid_column(table)}
+        if path.clustered:
+            available = available | self.catalog.columns_of([table])
+        if columns is None:
+            columns = available
+        columns = frozenset(columns) | {tid_column(table)}
+        if not columns <= available:
+            raise ReproError(
+                f"index {path.name} cannot deliver columns "
+                f"{sorted(str(c) for c in columns - available)}"
+            )
+        applicable = frozenset(
+            p for p in preds if frozenset(r for r in p.columns() if r.table == table) <= available
+        )
+        if applicable != preds:
+            raise ReproError(f"index {path.name} cannot apply all of {preds}")
+
+        base_card = self.model.table_card(table)
+        matched, _ = index_matching_predicates(
+            path.columns, table, preds, bound_tables=frozenset()
+        )
+        # Predicates referencing other tables become sargable at run time
+        # via sideways information passing; estimate them as matched too.
+        sideways = frozenset(
+            p
+            for p in preds - matched
+            if sargable_column(p, table, bound_tables=p.tables() - own) is not None
+            and any(
+                sargable_column(p, table, bound_tables=p.tables() - own)[0].column == c
+                for c in path.columns
+            )
+        )
+        matched = matched | sideways
+        sel_matched = self._sel(matched, own)
+        card = self._card(base_card, preds, own)
+        leaf_pages = max(
+            1.0,
+            base_card * self.model.row_width(key_cols) / self.catalog.page_size,
+        )
+        io = self.model.btree_height(base_card) + sel_matched * leaf_pages
+        scan_cost = Cost(io=io, cpu=max(1.0, base_card * sel_matched))
+        # Rescans (nested-loop probes) find the internal nodes in the
+        # buffer pool [MACK 86]; only the qualifying leaf fraction is
+        # re-read.
+        rescan = Cost(
+            io=sel_matched * leaf_pages, cpu=max(1.0, base_card * sel_matched)
+        )
+        props = PropertyVector(
+            tables=own,
+            cols=columns,
+            preds=preds,
+            order=tuple(ColumnRef(table, c) for c in path.columns),
+            site=self.catalog.table(table).site,
+            temp=False,
+            paths=frozenset(),
+            stored_as=None,
+            card=card,
+            cost=scan_cost,
+            rescan_cost=rescan,
+        )
+        return PlanNode(
+            op=ACCESS,
+            flavor="index",
+            params=make_params(table=table, path=path, columns=columns, preds=preds),
+            inputs=(),
+            props=props,
+        )
+
+    def access_temp(
+        self,
+        stored: PlanNode,
+        columns: Iterable[ColumnRef] | None = None,
+        preds: Iterable[Predicate] = (),
+    ) -> PlanNode:
+        """Sequential ACCESS of a materialized temp (a STORE/BUILDIX plan)."""
+        if stored.props.stored_as is None:
+            raise ReproError("access_temp input is not a stored object")
+        in_props = stored.props
+        columns = frozenset(columns) if columns is not None else in_props.cols
+        if not columns <= in_props.cols:
+            raise ReproError("temp does not hold all requested columns")
+        preds = frozenset(preds)
+        own = in_props.tables
+        card = self._card(in_props.card, preds, own)
+        pages = self._pages(in_props.card, in_props.cols)
+        scan = Cost(io=pages, cpu=max(1.0, in_props.card))
+        props = PropertyVector(
+            tables=own,
+            cols=columns,
+            preds=in_props.preds | preds,
+            order=in_props.order,
+            site=in_props.site,
+            temp=True,
+            paths=in_props.paths,
+            stored_as=in_props.stored_as,
+            card=card,
+            cost=in_props.cost + scan,
+            rescan_cost=scan,
+        )
+        return PlanNode(
+            op=ACCESS,
+            flavor="temp",
+            params=make_params(
+                table=in_props.stored_as, path=None, columns=columns, preds=preds
+            ),
+            inputs=(stored,),
+            props=props,
+        )
+
+    def access_temp_index(
+        self,
+        stored: PlanNode,
+        path: AccessPath,
+        columns: Iterable[ColumnRef] | None = None,
+        preds: Iterable[Predicate] = (),
+    ) -> PlanNode:
+        """Index ACCESS of a materialized temp that carries ``path`` in its
+        PATHS property (built by BUILDIX — the dynamic index of 4.5.3)."""
+        in_props = stored.props
+        if path not in in_props.paths:
+            raise ReproError(f"stored input has no path {path.name}")
+        columns = frozenset(columns) if columns is not None else in_props.cols
+        preds = frozenset(preds)
+        own = in_props.tables
+        card = self._card(in_props.card, preds, own)
+        key_cols = frozenset(
+            c for c in in_props.cols if c.column in path.columns
+        )
+        # Every sargable predicate on a key column narrows the leaf scan.
+        matched = frozenset(
+            p
+            for p in preds
+            for t in own
+            if (sarg := sargable_column(p, t, bound_tables=p.tables() - own)) is not None
+            and sarg[0].column in path.columns
+        )
+        sel_matched = self._sel(matched, own)
+        # Clustered temp indexes carry full rows in their leaves.
+        leaf_width = in_props.cols if path.clustered else (key_cols or in_props.cols)
+        leaf_pages = max(
+            1.0,
+            in_props.card * self.model.row_width(leaf_width) / self.catalog.page_size,
+        )
+        probe = Cost(
+            io=self.model.btree_height(in_props.card) + sel_matched * leaf_pages,
+            cpu=max(1.0, in_props.card * sel_matched),
+        )
+        # Probes after the first find internal nodes buffered [MACK 86].
+        reprobe = Cost(
+            io=sel_matched * leaf_pages, cpu=max(1.0, in_props.card * sel_matched)
+        )
+        props = PropertyVector(
+            tables=own,
+            cols=columns,
+            preds=in_props.preds | preds,
+            order=tuple(
+                c for name in path.columns for c in in_props.cols if c.column == name
+            ),
+            site=in_props.site,
+            temp=True,
+            paths=in_props.paths,
+            stored_as=in_props.stored_as,
+            card=card,
+            cost=in_props.cost + probe,
+            rescan_cost=reprobe,
+        )
+        return PlanNode(
+            op=ACCESS,
+            flavor="index",
+            params=make_params(
+                table=in_props.stored_as, path=path, columns=columns, preds=preds
+            ),
+            inputs=(stored,),
+            props=props,
+        )
+
+    # -- GET ---------------------------------------------------------------------
+
+    def get(
+        self,
+        input_plan: PlanNode,
+        table: str,
+        columns: Iterable[ColumnRef],
+        preds: Iterable[Predicate] = (),
+    ) -> PlanNode:
+        """GET: dereference TIDs in the input stream against ``table``,
+        fetching additional ``columns`` and applying ``preds`` (Figure 1)."""
+        in_props = input_plan.props
+        if tid_column(table) not in in_props.cols:
+            raise ReproError(f"GET needs {TID_NAME} of {table} in its input stream")
+        columns = frozenset(columns)
+        preds = frozenset(preds)
+        own = in_props.tables | {table}
+        card = self._card(in_props.card, preds, own)
+        tdef = self.catalog.table(table)
+        table_pages = self.model.table_pages(table)
+        table_card = max(1.0, self.model.table_card(table))
+        # Clustered fetches touch each data page once; unclustered fetches
+        # pay roughly one page per tuple (capped at one scan's worth of
+        # pages per tuple batch — the classic min() bound).
+        clustered_paths = [p for p in self.catalog.paths_for(table) if p.clustered]
+        aligned = any(
+            order_satisfies(
+                in_props.order, tuple(ColumnRef(table, c) for c in p.columns[:1])
+            )
+            for p in clustered_paths
+        )
+        # A TID-ordered input visits each data page at most once (the
+        # paper's omitted TID-sort strategy: "sorting TIDs taken from an
+        # unordered index in order to order I/O accesses to data pages").
+        tid_ordered = bool(in_props.order) and in_props.order[0] == tid_column(table)
+        if aligned:
+            fetch_io = max(1.0, table_pages * min(1.0, in_props.card / table_card))
+        elif tid_ordered:
+            fetch_io = max(1.0, min(in_props.card, table_pages))
+        else:
+            # Unclustered random fetches: one page I/O per tuple (the
+            # System R assumption, and exactly what the executor charges).
+            fetch_io = max(1.0, in_props.card)
+        fetch = Cost(io=fetch_io, cpu=max(1.0, in_props.card))
+        props = PropertyVector(
+            tables=own,
+            cols=in_props.cols | columns,
+            preds=in_props.preds | preds,
+            order=in_props.order,
+            site=in_props.site,
+            temp=in_props.temp,
+            paths=frozenset(),
+            stored_as=None,
+            card=card,
+            cost=in_props.cost + fetch,
+            rescan_cost=in_props.rescan_cost + fetch,
+        )
+        return PlanNode(
+            op=GET,
+            flavor=None,
+            params=make_params(table=table, columns=columns, preds=preds),
+            inputs=(input_plan,),
+            props=props,
+        )
+
+    # -- SORT / SHIP / STORE / BUILDIX --------------------------------------------
+
+    def sort(self, input_plan: PlanNode, order: Iterable[ColumnRef]) -> PlanNode:
+        """SORT the stream into ``order`` (changes the ORDER property)."""
+        order = tuple(order)
+        if not order:
+            raise ReproError("SORT needs at least one ordering column")
+        in_props = input_plan.props
+        missing = frozenset(order) - in_props.cols
+        if missing:
+            raise ReproError(
+                f"SORT on columns not in the stream: {sorted(str(c) for c in missing)}"
+            )
+        pages = self._pages(in_props.card, in_props.cols)
+        spill = pages > SORT_MEMORY_PAGES
+        sort_cost = Cost(
+            io=2.0 * pages if spill else 0.0,
+            cpu=self.model.sort_cpu(in_props.card),
+        )
+        rescan = Cost(io=pages if spill else 0.0, cpu=max(1.0, in_props.card))
+        props = PropertyVector(
+            tables=in_props.tables,
+            cols=in_props.cols,
+            preds=in_props.preds,
+            order=order,
+            site=in_props.site,
+            temp=in_props.temp,
+            paths=in_props.paths,
+            stored_as=None,
+            card=in_props.card,
+            cost=in_props.cost + sort_cost,
+            rescan_cost=rescan,
+        )
+        return PlanNode(
+            op=SORT,
+            flavor=None,
+            params=make_params(order=order),
+            inputs=(input_plan,),
+            props=props,
+        )
+
+    def ship(self, input_plan: PlanNode, to_site: str) -> PlanNode:
+        """SHIP the stream to ``to_site`` (changes the SITE property)."""
+        self.catalog.site(to_site)
+        in_props = input_plan.props
+        if in_props.site == to_site:
+            raise ReproError(f"stream is already at site {to_site}")
+        cost = self.model.ship_cost(in_props.card, in_props.cols)
+        props = PropertyVector(
+            tables=in_props.tables,
+            cols=in_props.cols,
+            preds=in_props.preds,
+            order=in_props.order,
+            site=to_site,
+            temp=False,
+            paths=frozenset(),
+            stored_as=None,
+            card=in_props.card,
+            cost=in_props.cost + cost,
+            rescan_cost=in_props.rescan_cost + cost,
+        )
+        return PlanNode(
+            op=SHIP,
+            flavor=None,
+            params=make_params(to_site=to_site),
+            inputs=(input_plan,),
+            props=props,
+        )
+
+    def store(self, input_plan: PlanNode) -> PlanNode:
+        """STORE the stream as a temporary stored table (TEMP := true)."""
+        in_props = input_plan.props
+        pages = self._pages(in_props.card, in_props.cols)
+        write = Cost(io=pages, cpu=max(1.0, in_props.card))
+        name = f"#temp({plan_digest(input_plan)})"
+        props = PropertyVector(
+            tables=in_props.tables,
+            cols=in_props.cols,
+            preds=in_props.preds,
+            order=in_props.order,
+            site=in_props.site,
+            temp=True,
+            paths=frozenset(),
+            stored_as=name,
+            card=in_props.card,
+            cost=in_props.cost + write,
+            rescan_cost=Cost(io=pages, cpu=max(1.0, in_props.card)),
+        )
+        return PlanNode(
+            op=STORE, flavor=None, params=(), inputs=(input_plan,), props=props
+        )
+
+    def buildix(self, stored: PlanNode, key: Iterable[ColumnRef]) -> PlanNode:
+        """BUILDIX: create an index on a stored temp (the dynamically
+        created index of section 4.5.3).  Adds to the PATHS property."""
+        key = tuple(key)
+        in_props = stored.props
+        if in_props.stored_as is None:
+            raise ReproError("BUILDIX input must be a stored object")
+        missing = frozenset(key) - in_props.cols
+        if missing:
+            raise ReproError(
+                f"BUILDIX key not in stored columns: {sorted(str(c) for c in missing)}"
+            )
+        # Dynamic indexes on temps are clustered: the temp is private to
+        # this plan, so the index leaves carry the full row and the probe
+        # needs no extra GET back to the temp's pages.
+        path = AccessPath(
+            name=f"ix({','.join(str(c) for c in key)})@{in_props.stored_as}",
+            table=in_props.stored_as,
+            columns=tuple(c.column for c in key),
+            kind="btree",
+            clustered=True,
+        )
+        pages = self._pages(in_props.card, in_props.cols)
+        key_pages = max(
+            1.0,
+            in_props.card * self.model.row_width(frozenset(key)) / self.catalog.page_size,
+        )
+        build = Cost(io=pages + key_pages, cpu=self.model.sort_cpu(in_props.card))
+        props = PropertyVector(
+            tables=in_props.tables,
+            cols=in_props.cols,
+            preds=in_props.preds,
+            order=in_props.order,
+            site=in_props.site,
+            temp=True,
+            paths=in_props.paths | {path},
+            stored_as=in_props.stored_as,
+            card=in_props.card,
+            cost=in_props.cost + build,
+            rescan_cost=in_props.rescan_cost,
+        )
+        return PlanNode(
+            op=BUILDIX,
+            flavor=None,
+            params=make_params(key=key),
+            inputs=(stored,),
+            props=props,
+        )
+
+    # -- JOIN / FILTER / UNION ------------------------------------------------------
+
+    def join(
+        self,
+        flavor: str,
+        outer: PlanNode,
+        inner: PlanNode,
+        join_preds: Iterable[Predicate],
+        residual_preds: Iterable[Predicate] = (),
+    ) -> PlanNode:
+        """JOIN with the given flavor (NL / MG / HA).
+
+        ``join_preds`` are applied by the join method itself;
+        ``residual_preds`` are applied to the result (paper 4.4: "any
+        residual predicates to apply after the join").  Predicates already
+        applied by the inner (pushed down) are not double-counted in the
+        cardinality estimate.
+        """
+        join_preds = frozenset(join_preds)
+        residual_preds = frozenset(residual_preds)
+        po, pi = outer.props, inner.props
+        if po.site != pi.site:
+            raise ReproError(
+                f"JOIN inputs at different sites: {po.site} vs {pi.site} "
+                "(dyadic LOLEPOPs require a common SITE)"
+            )
+        if po.tables & pi.tables:
+            raise ReproError("JOIN inputs overlap in tables")
+        if flavor == "SJ":
+            return self._semijoin(outer, inner, join_preds)
+        own = po.tables | pi.tables
+        newly_applied = (join_preds | residual_preds) - po.preds - pi.preds
+        sel = self._sel(newly_applied, own)
+        card = max(MIN_CARD, po.card * pi.card * sel)
+
+        def method_cost(outer_cost: Cost, inner_cost: Cost) -> Cost:
+            if flavor == "NL":
+                probes = max(0.0, po.card - 1.0)
+                rescans = pi.rescan_cost.scaled(probes)
+                cpu = po.card * max(1.0, pi.card) + card
+                return outer_cost + inner_cost + rescans + Cost(cpu=cpu)
+            if flavor == "MG":
+                cpu = po.card + pi.card + card
+                return outer_cost + inner_cost + Cost(cpu=cpu)
+            if flavor == "HA":
+                inner_pages = self._pages(pi.card, pi.cols)
+                outer_pages = self._pages(po.card, po.cols)
+                spill_io = (
+                    2.0 * (inner_pages + outer_pages)
+                    if inner_pages > HASH_MEMORY_PAGES
+                    else 0.0
+                )
+                cpu = 1.5 * pi.card + po.card + card
+                return outer_cost + inner_cost + Cost(io=spill_io, cpu=cpu)
+            raise ReproError(f"unknown join flavor {flavor!r}")
+
+        order: OrderSpec = () if flavor == "HA" else po.order
+        props = PropertyVector(
+            tables=own,
+            cols=po.cols | pi.cols,
+            preds=po.preds | pi.preds | join_preds | residual_preds,
+            order=order,
+            site=po.site,
+            temp=False,
+            paths=frozenset(),
+            stored_as=None,
+            card=card,
+            cost=method_cost(po.cost, pi.cost),
+            rescan_cost=method_cost(po.rescan_cost, pi.rescan_cost),
+        )
+        return PlanNode(
+            op=JOIN,
+            flavor=flavor,
+            params=make_params(join_preds=join_preds, residual_preds=residual_preds),
+            inputs=(outer, inner),
+            props=props,
+        )
+
+    def _semijoin(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        join_preds: frozenset[Predicate],
+    ) -> PlanNode:
+        """Hash semijoin (flavor SJ): emit each outer row at most once if
+        it has a match in the inner — the filtration strategy behind
+        semi-joins (paper's omitted list).  Relational content stays the
+        outer's; only the cardinality shrinks."""
+        po, pi = outer.props, inner.props
+        sel = self._sel(join_preds, po.tables | pi.tables)
+        match_probability = min(1.0, pi.card * sel)
+        card = max(MIN_CARD, po.card * match_probability)
+        build_probe = Cost(cpu=1.5 * pi.card + po.card)
+        props = PropertyVector(
+            tables=po.tables,
+            cols=po.cols,
+            preds=po.preds,
+            order=po.order,
+            site=po.site,
+            temp=False,
+            paths=frozenset(),
+            stored_as=None,
+            card=card,
+            cost=po.cost + pi.cost + build_probe,
+            rescan_cost=po.rescan_cost + pi.rescan_cost + build_probe,
+        )
+        return PlanNode(
+            op=JOIN,
+            flavor="SJ",
+            params=make_params(join_preds=join_preds, residual_preds=frozenset()),
+            inputs=(outer, inner),
+            props=props,
+        )
+
+    def project(self, input_plan: PlanNode, columns: Iterable[ColumnRef]) -> PlanNode:
+        """PROJECT: narrow the stream to ``columns`` (drops bytes, keeps
+        rows) — lets the semijoin strategy ship only join columns."""
+        columns = frozenset(columns)
+        in_props = input_plan.props
+        if not columns:
+            raise ReproError("PROJECT needs at least one column")
+        if not columns <= in_props.cols:
+            raise ReproError(
+                f"PROJECT columns not in the stream: "
+                f"{sorted(str(c) for c in columns - in_props.cols)}"
+            )
+        order = []
+        for column in in_props.order:
+            if column not in columns:
+                break
+            order.append(column)
+        cpu = Cost(cpu=max(1.0, in_props.card))
+        props = PropertyVector(
+            tables=in_props.tables,
+            cols=columns,
+            preds=in_props.preds,
+            order=tuple(order),
+            site=in_props.site,
+            temp=False,
+            paths=frozenset(),
+            stored_as=None,
+            card=in_props.card,
+            cost=in_props.cost + cpu,
+            rescan_cost=in_props.rescan_cost + cpu,
+        )
+        return PlanNode(
+            op=PROJECT,
+            flavor=None,
+            params=make_params(columns=columns),
+            inputs=(input_plan,),
+            props=props,
+        )
+
+    def filter(self, input_plan: PlanNode, preds: Iterable[Predicate]) -> PlanNode:
+        """FILTER: apply predicates to a stream (retrofit veneer)."""
+        preds = frozenset(preds)
+        if not preds:
+            raise ReproError("FILTER needs at least one predicate")
+        in_props = input_plan.props
+        card = self._card(in_props.card, preds, in_props.tables)
+        cpu = Cost(cpu=max(1.0, in_props.card))
+        props = PropertyVector(
+            tables=in_props.tables,
+            cols=in_props.cols,
+            preds=in_props.preds | preds,
+            order=in_props.order,
+            site=in_props.site,
+            temp=in_props.temp,
+            paths=in_props.paths,
+            stored_as=None,
+            card=card,
+            cost=in_props.cost + cpu,
+            rescan_cost=in_props.rescan_cost + cpu,
+        )
+        return PlanNode(
+            op=FILTER,
+            flavor=None,
+            params=make_params(preds=preds),
+            inputs=(input_plan,),
+            props=props,
+        )
+
+    def dedup(self, input_plan: PlanNode, key: Iterable[ColumnRef]) -> PlanNode:
+        """DEDUP: keep the first row per ``key`` (hash distinct).
+
+        Used by the index OR-ing strategy to merge TID streams: a row
+        matching several OR branches appears once per branch before the
+        DEDUP and exactly once after it.
+        """
+        key = tuple(key)
+        if not key:
+            raise ReproError("DEDUP needs at least one key column")
+        in_props = input_plan.props
+        missing = frozenset(key) - in_props.cols
+        if missing:
+            raise ReproError(
+                f"DEDUP key not in the stream: {sorted(str(c) for c in missing)}"
+            )
+        cpu = Cost(cpu=max(1.0, in_props.card))
+        props = PropertyVector(
+            tables=in_props.tables,
+            cols=in_props.cols,
+            preds=in_props.preds,
+            order=in_props.order,
+            site=in_props.site,
+            temp=in_props.temp,
+            paths=in_props.paths,
+            stored_as=None,
+            # Conservative: assume little overlap between branches.
+            card=in_props.card,
+            cost=in_props.cost + cpu,
+            rescan_cost=in_props.rescan_cost + cpu,
+        )
+        return PlanNode(
+            op=DEDUP,
+            flavor=None,
+            params=make_params(key=key),
+            inputs=(input_plan,),
+            props=props,
+        )
+
+    def intersect(
+        self, left: PlanNode, right: PlanNode, key: Iterable[ColumnRef]
+    ) -> PlanNode:
+        """INTERSECT: keep left rows whose ``key`` appears in the right
+        stream — the index AND-ing strategy's TID intersection.  The
+        output satisfies both sides' predicates."""
+        key = tuple(key)
+        if not key:
+            raise ReproError("INTERSECT needs at least one key column")
+        pl, pr = left.props, right.props
+        if pl.site != pr.site:
+            raise ReproError("INTERSECT inputs must be at the same site")
+        missing = frozenset(key) - (pl.cols & pr.cols)
+        if missing:
+            raise ReproError(
+                f"INTERSECT key not in both streams: "
+                f"{sorted(str(c) for c in missing)}"
+            )
+        own = pl.tables | pr.tables
+        card = self._card(pl.card, pr.preds - pl.preds, own)
+        cpu = Cost(cpu=max(1.0, pl.card + pr.card))
+        props = PropertyVector(
+            tables=own,
+            cols=pl.cols,
+            preds=pl.preds | pr.preds,
+            order=pl.order,
+            site=pl.site,
+            temp=False,
+            paths=frozenset(),
+            stored_as=None,
+            card=card,
+            cost=pl.cost + pr.cost + cpu,
+            rescan_cost=pl.rescan_cost + pr.rescan_cost + cpu,
+        )
+        return PlanNode(
+            op=INTERSECT,
+            flavor=None,
+            params=make_params(key=key),
+            inputs=(left, right),
+            props=props,
+        )
+
+    def union(self, left: PlanNode, right: PlanNode) -> PlanNode:
+        """UNION ALL of two compatible streams (same COLS and SITE)."""
+        pl, pr = left.props, right.props
+        if pl.cols != pr.cols:
+            raise ReproError("UNION inputs must have identical columns")
+        if pl.site != pr.site:
+            raise ReproError("UNION inputs must be at the same site")
+        card = pl.card + pr.card
+        props = PropertyVector(
+            tables=pl.tables | pr.tables,
+            cols=pl.cols,
+            preds=pl.preds & pr.preds,
+            order=(),
+            site=pl.site,
+            temp=False,
+            paths=frozenset(),
+            stored_as=None,
+            card=card,
+            cost=pl.cost + pr.cost + Cost(cpu=card),
+            rescan_cost=pl.rescan_cost + pr.rescan_cost + Cost(cpu=card),
+        )
+        return PlanNode(op=UNION, flavor=None, params=(), inputs=(left, right), props=props)

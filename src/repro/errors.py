@@ -1,0 +1,64 @@
+"""Exception hierarchy for the STARs reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup or registration failed (unknown table, duplicate
+    definition, unknown column, unknown site, ...)."""
+
+
+class StorageError(ReproError):
+    """A storage-manager operation failed (bad RID, schema mismatch,
+    duplicate key in a unique index, ...)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (unknown table or column, type mismatch in a
+    predicate, unsupported construct, ...)."""
+
+
+class ParseError(QueryError):
+    """Raised by the SQL parser and the STAR DSL parser on invalid input.
+
+    Carries the offending line and column so a Database Customizer can fix
+    the rule text.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class RuleError(ReproError):
+    """A STAR rule set is invalid: undefined STAR reference, arity
+    mismatch, cyclic definition, unknown condition function, ..."""
+
+
+class ExpansionError(ReproError):
+    """STAR expansion failed at optimization time (e.g. a rule referenced
+    an unbound parameter, or recursion exceeded the safety limit)."""
+
+
+class GlueError(ReproError):
+    """Glue could not satisfy a set of required properties."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer could not produce any plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """The query evaluator failed while interpreting a plan."""

@@ -1,0 +1,29 @@
+"""The query evaluator: run-time routines for every LOLEPOP flavor.
+
+Section 2.1: LOLEPOPs "will be interpreted by the query evaluator at
+run-time"; section 5: adding a LOLEPOP requires "a run-time execution
+routine that will be invoked by the query evaluator".  This package is
+that evaluator, interpreting plan DAGs against a
+:class:`~repro.storage.table.Database`:
+
+* :class:`~repro.executor.runtime.QueryExecutor` — the plan interpreter,
+  including nested-loop joins with sideways information passing, merge
+  and hash joins, SHIP across simulated sites, and STORE/BUILDIX temp
+  materialization;
+* :class:`~repro.executor.network.NetworkSim` — per-link message/byte
+  accounting for the simulated distributed system;
+* :mod:`repro.executor.naive` — a brute-force reference evaluator used
+  for differential testing of optimizer + executor correctness.
+"""
+
+from repro.executor.naive import naive_evaluate
+from repro.executor.network import NetworkSim
+from repro.executor.runtime import ExecutionResult, ExecutionStats, QueryExecutor
+
+__all__ = [
+    "ExecutionResult",
+    "ExecutionStats",
+    "NetworkSim",
+    "QueryExecutor",
+    "naive_evaluate",
+]

@@ -1,0 +1,47 @@
+"""Simulated network between sites.
+
+The paper's SITE property and SHIP LOLEPOP come from R*'s distributed
+setting [LOHM 84, LOHM 85].  We have no network, so SHIP's run-time
+routine charges a :class:`NetworkSim` instead: per-link messages and
+bytes, using the same message size the cost model assumes.  Experiment E8
+compares these actuals against the estimated ``msgs``/``bytes_sent``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cost.model import MESSAGE_SIZE
+
+
+@dataclass
+class LinkStats:
+    """Traffic on one directed site-to-site link."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    tuples: int = 0
+
+
+@dataclass
+class NetworkSim:
+    """Accounts traffic between simulated sites."""
+
+    links: dict[tuple[str, str], LinkStats] = field(default_factory=dict)
+    message_size: int = MESSAGE_SIZE
+
+    def transfer(self, from_site: str, to_site: str, tuples: int, nbytes: int) -> None:
+        """Record one stream shipment (tuples are batched into messages)."""
+        link = self.links.setdefault((from_site, to_site), LinkStats())
+        link.messages += math.ceil(nbytes / self.message_size) + 1 if nbytes else 1
+        link.bytes_sent += nbytes
+        link.tuples += tuples
+
+    @property
+    def total_messages(self) -> int:
+        return sum(link.messages for link in self.links.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(link.bytes_sent for link in self.links.values())

@@ -1,0 +1,655 @@
+"""Run-time execution routines for every LOLEPOP flavor.
+
+The executor interprets a plan DAG as a tree of Python generators — the
+"stream of tuples" view of section 2.1.  Rows flow as dictionaries keyed
+by :class:`~repro.query.expressions.ColumnRef` (plus the TID
+pseudo-column for index streams).
+
+Sideways information passing (section 4.4, footnote 4): the nested-loop
+join binds each outer row into a :class:`~repro.query.expressions.RowContext`
+chain that is visible to the inner plan's predicate evaluation and index
+probes, so a pushed-down join predicate behaves as a single-table
+predicate whose constant changes per outer tuple.
+
+Materialization (STORE / BUILDIX) creates real temp tables in the
+database; an ``ACCESS(temp)`` rescans the stored pages instead of
+recomputing its input — the run-time counterpart of the cost model's
+``rescan_cost``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.catalog.schema import AccessPath
+from repro.errors import ExecutionError
+from repro.executor.network import NetworkSim
+from repro.plans.operators import (
+    ACCESS,
+    BUILDIX,
+    DEDUP,
+    FILTER,
+    INTERSECT,
+    PROJECT,
+    GET,
+    JOIN,
+    SHIP,
+    SORT,
+    STORE,
+    UNION,
+)
+from repro.plans.plan import PlanNode
+from repro.query.expressions import ColumnRef, RowContext
+from repro.query.predicates import Comparison, Predicate, sargable_column
+from repro.query.query import QueryBlock
+from repro.storage.heap import RID
+from repro.storage.table import Database, TableData, tid_column
+
+Row = dict[ColumnRef, Any]
+
+TID_WIDTH = 8
+
+
+@dataclass
+class ExecutionStats:
+    """Actual resource usage of one plan execution (the measured side of
+    experiment E8)."""
+
+    output_rows: int = 0
+    tuples_flowed: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    index_reads: int = 0
+    index_writes: int = 0
+    messages: int = 0
+    bytes_shipped: int = 0
+    temps_materialized: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total_io(self) -> int:
+        return self.page_reads + self.page_writes + self.index_reads + self.index_writes
+
+
+@dataclass
+class ExecutionResult:
+    """Rows plus accounting from one execution."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    stats: ExecutionStats
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_multiset(self) -> dict[tuple, int]:
+        counts: dict[tuple, int] = {}
+        for row in self.rows:
+            counts[row] = counts.get(row, 0) + 1
+        return counts
+
+
+class QueryExecutor:
+    """Interprets plan DAGs against stored data."""
+
+    def __init__(self, database: Database):
+        self.db = database
+
+    # -- public API ----------------------------------------------------------------
+
+    def run_plan(self, plan: PlanNode) -> tuple[list[Row], ExecutionStats]:
+        """Execute a plan, returning raw stream rows and statistics."""
+        stats = ExecutionStats()
+        network = NetworkSim()
+        run = _PlanRun(self.db, stats, network)
+        started = time.perf_counter()
+        io_before = self.db.io.snapshot()
+        rows = list(run.execute(plan, bindings=None))
+        delta = self.db.io.since(io_before)
+        stats.page_reads = delta.page_reads
+        stats.page_writes = delta.page_writes
+        stats.index_reads = delta.index_reads
+        stats.index_writes = delta.index_writes
+        stats.messages = network.total_messages
+        stats.bytes_shipped = network.total_bytes
+        stats.output_rows = len(rows)
+        stats.elapsed_seconds = time.perf_counter() - started
+        self.db.drop_temps()
+        return rows, stats
+
+    def run(self, query: QueryBlock, plan: PlanNode) -> ExecutionResult:
+        """Execute a plan and apply the query's projection and ORDER BY."""
+        raw, stats = self.run_plan(plan)
+        projected = []
+        for row in raw:
+            ctx = RowContext(row)
+            projected.append(tuple(item.expr.evaluate(ctx) for item in query.select))
+        if query.order_by:
+            aliases = [item.alias for item in query.select]
+            order_positions = []
+            for order_item in reversed(query.order_by):
+                # ORDER BY columns are guaranteed present in the stream;
+                # sort on the raw column value, carried alongside.
+                order_positions.append(order_item)
+            decorated = list(zip(raw, projected))
+            for order_item in order_positions:
+                decorated.sort(
+                    key=lambda pair: _sort_key(pair[0].get(order_item.column)),
+                    reverse=order_item.descending,
+                )
+            projected = [p for _, p in decorated]
+        stats.output_rows = len(projected)
+        return ExecutionResult(
+            columns=tuple(item.alias for item in query.select),
+            rows=projected,
+            stats=stats,
+        )
+
+
+def _sort_key(value: Any) -> tuple:
+    return (value is None, value)
+
+
+class _PlanRun:
+    """One plan execution: dispatch + temp cache + accounting."""
+
+    def __init__(self, db: Database, stats: ExecutionStats, network: NetworkSim):
+        self.db = db
+        self.stats = stats
+        self.network = network
+        self._temps: dict[int, TableData] = {}
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def execute(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        for row in self._dispatch(node, bindings):
+            self.stats.tuples_flowed += 1
+            yield row
+
+    def _dispatch(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        if node.op == ACCESS:
+            return self._access(node, bindings)
+        if node.op == GET:
+            return self._get(node, bindings)
+        if node.op == SORT:
+            return self._sort(node, bindings)
+        if node.op == SHIP:
+            return self._ship(node, bindings)
+        if node.op == FILTER:
+            return self._filter(node, bindings)
+        if node.op == JOIN:
+            return self._join(node, bindings)
+        if node.op == UNION:
+            return self._union(node, bindings)
+        if node.op == DEDUP:
+            return self._dedup(node, bindings)
+        if node.op == PROJECT:
+            return self._project(node, bindings)
+        if node.op == INTERSECT:
+            return self._intersect(node, bindings)
+        if node.op in (STORE, BUILDIX):
+            # A bare STORE/BUILDIX at stream position: materialize, then
+            # stream the temp back out.
+            data = self._materialize(node)
+            return self._scan_table_data(data, node.props.cols, frozenset(), bindings)
+        raise ExecutionError(f"no run-time routine for LOLEPOP {node.op}")
+
+    # -- ACCESS ------------------------------------------------------------------------
+
+    def _access(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        path: AccessPath | None = node.param("path")
+        columns: frozenset[ColumnRef] = node.param("columns") or frozenset()
+        preds: frozenset[Predicate] = node.param("preds") or frozenset()
+
+        if node.flavor in ("heap", "btree"):
+            data = self.db.table(node.param("table"))
+            if node.flavor == "btree":
+                return self._scan_clustered(data, columns, preds, bindings)
+            return self._scan_table_data(data, columns, preds, bindings)
+
+        if node.flavor == "temp":
+            data = self._materialize_input(node)
+            cols = columns or node.props.cols
+            return self._scan_table_data(data, cols, preds, bindings)
+
+        assert node.flavor == "index"
+        if node.inputs:  # dynamic index on a temp
+            data = self._materialize_input(node)
+        else:
+            data = self.db.table(node.param("table"))
+        assert path is not None
+        return self._index_scan(data, path, columns or node.props.cols, preds, bindings)
+
+    def _scan_table_data(
+        self,
+        data: TableData,
+        columns: frozenset[ColumnRef],
+        preds: frozenset[Predicate],
+        bindings: RowContext | None,
+    ) -> Iterator[Row]:
+        wanted = [c for c in columns if not c.column.startswith("#")]
+        want_tid = any(c.column.startswith("#") for c in columns)
+        positions = [(c, data.position(c)) for c in wanted if data.has_column(c)]
+        for rid, raw in data.scan():
+            row: Row = {c: raw[pos] for c, pos in positions}
+            if want_tid:
+                row[tid_column(_tid_table(columns, data))] = rid
+            if self._passes(preds, row, bindings):
+                yield row
+
+    def _scan_clustered(
+        self,
+        data: TableData,
+        columns: frozenset[ColumnRef],
+        preds: frozenset[Predicate],
+        bindings: RowContext | None,
+    ) -> Iterator[Row]:
+        """Scan a B-tree-organized table in key order via its clustered
+        primary index."""
+        primary = next(
+            (ix for ix in data.indexes.values() if ix.clustered), None
+        )
+        if primary is None:
+            yield from self._scan_table_data(data, columns, preds, bindings)
+            return
+        positions = [(c, data.position(c)) for c in columns if data.has_column(c)]
+        for _, (rid, raw) in primary.tree.scan_all():
+            row: Row = {c: raw[pos] for c, pos in positions}
+            if self._passes(preds, row, bindings):
+                yield row
+
+    def _index_scan(
+        self,
+        data: TableData,
+        path: AccessPath,
+        columns: frozenset[ColumnRef],
+        preds: frozenset[Predicate],
+        bindings: RowContext | None,
+    ) -> Iterator[Row]:
+        index = data.index(path.name)
+        lo, hi = self._probe_bounds(index.key_columns, preds, bindings)
+        tid = tid_column(index.key_columns[0].table)
+        key_positions = {c: i for i, c in enumerate(index.key_columns)}
+        for key, (rid, stored_row) in index.tree.scan_range(lo=lo, hi=hi):
+            # Predicates may reference key columns that the plan does not
+            # project (e.g. TID-only streams for index OR-ing), so build
+            # the evaluation row over everything the entry carries.
+            eval_row: Row = {c: key[i] for c, i in key_positions.items()}
+            if index.clustered and stored_row is not None:
+                for column in data.schema:
+                    eval_row[column] = stored_row[data.position(column)]
+            eval_row[tid] = rid
+            if not self._passes(preds, eval_row, bindings):
+                continue
+            row: Row = {tid: rid}
+            for column in columns:
+                if column.column.startswith("#"):
+                    continue
+                if column in eval_row:
+                    row[column] = eval_row[column]
+            yield row
+
+    def _probe_bounds(
+        self,
+        key_columns: tuple[ColumnRef, ...],
+        preds: frozenset[Predicate],
+        bindings: RowContext | None,
+    ) -> tuple[tuple | None, tuple | None]:
+        """Derive B-tree probe bounds from sargable predicates whose value
+        side is evaluable now (constants or outer-bound columns)."""
+        empty = RowContext({}, outer=bindings)
+        lo: list[Any] = []
+        hi: list[Any] = []
+        bounded = True
+        for column in key_columns:
+            if not bounded:
+                break
+            eq_value = None
+            for pred in preds:
+                sarg = sargable_column(
+                    pred, column.table, bound_tables=pred.tables() - {column.table}
+                )
+                if sarg is None or sarg[0] != column or sarg[1] != "=":
+                    continue
+                try:
+                    eq_value = sarg[2].evaluate(empty)
+                except ExecutionError:
+                    continue
+                break
+            if eq_value is not None:
+                lo.append(eq_value)
+                hi.append(eq_value)
+                continue
+            bounded = False
+        return (tuple(lo) or None, tuple(hi) or None)
+
+    # -- GET -----------------------------------------------------------------------------
+
+    def _get(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        table = node.param("table")
+        columns: frozenset[ColumnRef] = node.param("columns") or frozenset()
+        preds: frozenset[Predicate] = node.param("preds") or frozenset()
+        data = self.db.table(table)
+        tid = tid_column(table)
+        positions = [(c, data.position(c)) for c in columns if data.has_column(c)]
+        for row in self.execute(node.inputs[0], bindings):
+            rid = row.get(tid)
+            if rid is None:
+                raise ExecutionError(f"GET on {table}: input stream lacks a TID")
+            raw = data.fetch(RID(*rid) if not isinstance(rid, RID) else rid)
+            out = dict(row)
+            for column, pos in positions:
+                out[column] = raw[pos]
+            if self._passes(preds, out, bindings):
+                yield out
+
+    # -- SORT / SHIP / FILTER ---------------------------------------------------------------
+
+    def _sort(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        order: tuple[ColumnRef, ...] = node.param("order", ())
+        rows = list(self.execute(node.inputs[0], bindings))
+        rows.sort(key=lambda r: tuple(_sort_key(r.get(c)) for c in order))
+        yield from rows
+
+    def _ship(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        to_site = node.param("to_site")
+        from_site = node.inputs[0].props.site
+        count = 0
+        nbytes = 0
+        for row in self.execute(node.inputs[0], bindings):
+            count += 1
+            nbytes += self._row_bytes(row)
+            yield row
+        self.network.transfer(from_site, to_site, count, nbytes)
+
+    def _filter(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        preds: frozenset[Predicate] = node.param("preds") or frozenset()
+        for row in self.execute(node.inputs[0], bindings):
+            if self._passes(preds, row, bindings):
+                yield row
+
+    # -- JOIN -----------------------------------------------------------------------------
+
+    def _join(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        if node.flavor == "NL":
+            return self._join_nl(node, bindings)
+        if node.flavor == "MG":
+            return self._join_mg(node, bindings)
+        if node.flavor == "HA":
+            return self._join_ha(node, bindings)
+        if node.flavor == "SJ":
+            return self._join_sj(node, bindings)
+        raise ExecutionError(f"no run-time routine for JOIN flavor {node.flavor}")
+
+    def _join_sj(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        """Hash semijoin: emit each outer row at most once when some
+        inner row matches the join predicates."""
+        outer, inner = node.inputs
+        join_preds: frozenset[Predicate] = node.param("join_preds") or frozenset()
+        sides = _hash_sides(join_preds, outer.props.tables)
+        if not sides:
+            raise ExecutionError("semijoin without hashable predicates")
+        keys: set[tuple] = set()
+        for inner_row in self.execute(inner, bindings):
+            ctx = RowContext(inner_row, outer=bindings)
+            try:
+                keys.add(tuple(expr.evaluate(ctx) for _, expr in sides))
+            except ExecutionError:
+                continue
+        for outer_row in self.execute(outer, bindings):
+            ctx = RowContext(outer_row, outer=bindings)
+            try:
+                key = tuple(expr.evaluate(ctx) for expr, _ in sides)
+            except ExecutionError:
+                continue
+            if key in keys:
+                yield outer_row
+
+    def _join_nl(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        outer, inner = node.inputs
+        preds = self._join_predicates(node)
+        for outer_row in self.execute(outer, bindings):
+            inner_bindings = RowContext(outer_row, outer=bindings)
+            for inner_row in self.execute(inner, inner_bindings):
+                combined = {**outer_row, **inner_row}
+                if self._passes(preds, combined, bindings):
+                    yield combined
+
+    def _join_mg(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        outer, inner = node.inputs
+        join_preds: frozenset[Predicate] = node.param("join_preds") or frozenset()
+        residual: frozenset[Predicate] = node.param("residual_preds") or frozenset()
+        triples = _merge_triples(join_preds, outer.props.tables)
+        if not triples:
+            raise ExecutionError("merge join without column-to-column predicates")
+        outer_cols = tuple(o for o, _, _ in triples)
+        inner_cols = tuple(i for _, i, _ in triples)
+        merge_set = {pred for _, _, pred in triples}
+        check = (join_preds - merge_set) | residual
+
+        outer_groups = _grouped(self.execute(outer, bindings), outer_cols)
+        inner_groups = _grouped(self.execute(inner, bindings), inner_cols)
+        outer_item = next(outer_groups, None)
+        inner_item = next(inner_groups, None)
+        while outer_item is not None and inner_item is not None:
+            outer_key, outer_rows = outer_item
+            inner_key, inner_rows = inner_item
+            if None in outer_key:
+                outer_item = next(outer_groups, None)
+                continue
+            if None in inner_key:
+                inner_item = next(inner_groups, None)
+                continue
+            if outer_key < inner_key:
+                outer_item = next(outer_groups, None)
+            elif outer_key > inner_key:
+                inner_item = next(inner_groups, None)
+            else:
+                for outer_row in outer_rows:
+                    for inner_row in inner_rows:
+                        combined = {**outer_row, **inner_row}
+                        if self._passes(check, combined, bindings):
+                            yield combined
+                outer_item = next(outer_groups, None)
+                inner_item = next(inner_groups, None)
+
+    def _join_ha(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        outer, inner = node.inputs
+        join_preds: frozenset[Predicate] = node.param("join_preds") or frozenset()
+        residual: frozenset[Predicate] = node.param("residual_preds") or frozenset()
+        sides = _hash_sides(join_preds, outer.props.tables)
+        if not sides:
+            raise ExecutionError("hash join without hashable predicates")
+        check = join_preds | residual
+
+        buckets: dict[tuple, list[Row]] = {}
+        for inner_row in self.execute(inner, bindings):
+            ctx = RowContext(inner_row, outer=bindings)
+            try:
+                key = tuple(expr.evaluate(ctx) for _, expr in sides)
+            except ExecutionError:
+                continue
+            buckets.setdefault(key, []).append(inner_row)
+        for outer_row in self.execute(outer, bindings):
+            ctx = RowContext(outer_row, outer=bindings)
+            try:
+                key = tuple(expr.evaluate(ctx) for expr, _ in sides)
+            except ExecutionError:
+                continue
+            for inner_row in buckets.get(key, ()):
+                combined = {**outer_row, **inner_row}
+                if self._passes(check, combined, bindings):
+                    yield combined
+
+    def _join_predicates(self, node: PlanNode) -> frozenset[Predicate]:
+        join_preds: frozenset[Predicate] = node.param("join_preds") or frozenset()
+        residual: frozenset[Predicate] = node.param("residual_preds") or frozenset()
+        return join_preds | residual
+
+    # -- UNION / DEDUP -----------------------------------------------------------------------
+
+    def _union(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        yield from self.execute(node.inputs[0], bindings)
+        yield from self.execute(node.inputs[1], bindings)
+
+    def _project(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        columns: frozenset[ColumnRef] = node.param("columns") or frozenset()
+        for row in self.execute(node.inputs[0], bindings):
+            yield {c: v for c, v in row.items() if c in columns}
+
+    def _intersect(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        key: tuple[ColumnRef, ...] = node.param("key", ())
+        right_keys = {
+            tuple(row.get(c) for c in key)
+            for row in self.execute(node.inputs[1], bindings)
+        }
+        for row in self.execute(node.inputs[0], bindings):
+            if tuple(row.get(c) for c in key) in right_keys:
+                yield row
+
+    def _dedup(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
+        key: tuple[ColumnRef, ...] = node.param("key", ())
+        seen: set[tuple] = set()
+        for row in self.execute(node.inputs[0], bindings):
+            values = tuple(row.get(c) for c in key)
+            if values in seen:
+                continue
+            seen.add(values)
+            yield row
+
+    # -- materialization --------------------------------------------------------------------
+
+    def _materialize_input(self, node: PlanNode) -> TableData:
+        if not node.inputs:
+            raise ExecutionError(f"{node.op} access without a stored input")
+        return self._materialize(node.inputs[0])
+
+    def _materialize(self, node: PlanNode) -> TableData:
+        cached = self._temps.get(id(node))
+        if cached is not None:
+            return cached
+        if node.op == BUILDIX:
+            data = self._materialize(node.inputs[0])
+            key: tuple[ColumnRef, ...] = node.param("key", ())
+            path = next(iter(node.props.paths - node.inputs[0].props.paths))
+            data.add_index(path, key)
+            self._temps[id(node)] = data
+            return data
+        if node.op != STORE:
+            raise ExecutionError(f"cannot materialize a {node.op} node")
+        schema = tuple(sorted(node.props.cols, key=str))
+        data = self.db.make_temp(schema, site=node.props.site)
+        # The STORE input never depends on outer bindings (Glue keeps
+        # sideways predicates out of materialized temps).
+        for row in self.execute(node.inputs[0], None):
+            data.insert(tuple(row.get(c) for c in schema))
+        self.stats.temps_materialized += 1
+        self._temps[id(node)] = data
+        return data
+
+    # -- shared helpers ---------------------------------------------------------------------
+
+    def _passes(
+        self,
+        preds: frozenset[Predicate],
+        row: Mapping[ColumnRef, Any],
+        bindings: RowContext | None,
+    ) -> bool:
+        if not preds:
+            return True
+        ctx = RowContext(row, outer=bindings)
+        return all(pred.evaluate(ctx) for pred in preds)
+
+    def _row_bytes(self, row: Row) -> int:
+        total = 0
+        for column, value in row.items():
+            if column.column.startswith("#"):
+                total += TID_WIDTH
+            elif isinstance(value, str):
+                total += len(value)
+            elif isinstance(value, float):
+                total += 8
+            else:
+                total += 4
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Join helpers
+# ---------------------------------------------------------------------------
+
+
+def _merge_triples(
+    join_preds: frozenset[Predicate], outer_tables: frozenset[str]
+) -> list[tuple[ColumnRef, ColumnRef, Predicate]]:
+    """(outer column, inner column, predicate) for each col=col predicate,
+    ordered deterministically to match the rule-side ``merge_cols``."""
+    triples = []
+    for pred in sorted(join_preds, key=str):
+        if not isinstance(pred, Comparison) or pred.op != "=":
+            continue
+        if not (isinstance(pred.left, ColumnRef) and isinstance(pred.right, ColumnRef)):
+            continue
+        if pred.left.table in outer_tables and pred.right.table not in outer_tables:
+            triples.append((pred.left, pred.right, pred))
+        elif pred.right.table in outer_tables and pred.left.table not in outer_tables:
+            triples.append((pred.right, pred.left, pred))
+    return triples
+
+
+def _merge_pairs(
+    join_preds: frozenset[Predicate], outer_tables: frozenset[str]
+) -> list[tuple[ColumnRef, ColumnRef]]:
+    return [(o, i) for o, i, _ in _merge_triples(join_preds, outer_tables)]
+
+
+def _hash_sides(
+    join_preds: frozenset[Predicate], outer_tables: frozenset[str]
+) -> list[tuple[Any, Any]]:
+    """(outer expression, inner expression) for each hashable predicate."""
+    sides = []
+    for pred in sorted(join_preds, key=str):
+        if not isinstance(pred, Comparison) or pred.op != "=":
+            continue
+        left_tables, right_tables = pred.left.tables(), pred.right.tables()
+        if not left_tables or not right_tables:
+            continue
+        if left_tables <= outer_tables and not right_tables & outer_tables:
+            sides.append((pred.left, pred.right))
+        elif right_tables <= outer_tables and not left_tables & outer_tables:
+            sides.append((pred.right, pred.left))
+    return sides
+
+
+def _grouped(rows: Iterator[Row], key_cols: tuple[ColumnRef, ...]):
+    """Group consecutive rows by their key (inputs are sorted)."""
+    current_key: tuple | None = None
+    group: list[Row] = []
+    last_seen: tuple | None = None
+    for row in rows:
+        key = tuple(row.get(c) for c in key_cols)
+        if current_key is None:
+            current_key, group = key, [row]
+            continue
+        if key == current_key:
+            group.append(row)
+            continue
+        sortable_prev = tuple(_sort_key(v) for v in current_key)
+        sortable_now = tuple(_sort_key(v) for v in key)
+        if sortable_now < sortable_prev:
+            raise ExecutionError(
+                f"merge join input out of order: {key} after {current_key}"
+            )
+        yield current_key, group
+        current_key, group = key, [row]
+    if current_key is not None:
+        yield current_key, group
+
+
+def _tid_table(columns: frozenset[ColumnRef], data: TableData) -> str:
+    for column in columns:
+        if column.column.startswith("#"):
+            return column.table
+    return data.name

@@ -1,0 +1,12 @@
+"""The optimizer: bottom-up join enumeration driving the STAR engine.
+
+Section 2.3: "For any given SQL query, we build plans bottom up, first
+referencing the AccessRoot STAR to build plans to access individual
+tables, and then repeatedly referencing the JoinRoot STAR to join plans
+that were generated earlier, until all tables have been joined."
+"""
+
+from repro.optimizer.enumerator import JoinEnumerator
+from repro.optimizer.optimizer import OptimizationResult, StarburstOptimizer
+
+__all__ = ["JoinEnumerator", "OptimizationResult", "StarburstOptimizer"]

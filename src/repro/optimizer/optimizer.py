@@ -1,0 +1,134 @@
+"""The public optimizer facade.
+
+:class:`StarburstOptimizer` ties the pieces together: parse (or accept) a
+query block, spin up a fresh STAR engine (rules + registry + plan table),
+enumerate joins bottom-up, and deliver the result stream with the query's
+required properties (ORDER BY via SORT, result site via SHIP) through one
+final Glue reference.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.config import OptimizerConfig
+from repro.cost.model import CostModel, CostWeights
+from repro.errors import OptimizationError
+from repro.optimizer.enumerator import JoinEnumerator
+from repro.plans.plan import PlanNode
+from repro.plans.properties import Requirements
+from repro.plans.sap import SAP, Stream
+from repro.query.parser import parse_query
+from repro.query.query import QueryBlock
+from repro.stars.ast import RuleSet
+from repro.stars.builtin_rules import extended_rules
+from repro.stars.engine import ExpansionStats, StarEngine
+from repro.stars.plantable import PlanTableStats
+from repro.stars.registry import FunctionRegistry, default_registry
+from repro.stars.validate import validate_rules
+
+
+@dataclass
+class OptimizationResult:
+    """Everything one optimization produced."""
+
+    query: QueryBlock
+    best_plan: PlanNode
+    alternatives: SAP
+    stats: ExpansionStats
+    plan_table_stats: PlanTableStats
+    pairs_considered: int
+    elapsed_seconds: float
+    engine: StarEngine
+
+    @property
+    def best_cost(self) -> float:
+        return self.engine.ctx.model.total(self.best_plan.props.cost)
+
+    def explain(self) -> str:
+        """Human-readable summary: the chosen plan and where it came from."""
+        from repro.plans.plan import render_tree
+
+        lines = [
+            f"query: {self.query}",
+            f"alternatives surviving: {len(self.alternatives)}",
+            f"estimated cost: {self.best_cost:.1f} "
+            f"({self.best_plan.props.cost})",
+            f"estimated cardinality: {self.best_plan.props.card:.1f}",
+            "chosen plan:",
+            render_tree(self.best_plan, show_properties=True),
+        ]
+        trace = self.engine.trace()
+        if trace:
+            lines.append("expansion trace:")
+            lines.append(trace)
+        return "\n".join(lines)
+
+
+class StarburstOptimizer:
+    """Rule-driven query optimizer in the style of Starburst.
+
+    >>> optimizer = StarburstOptimizer(catalog)
+    >>> result = optimizer.optimize("SELECT * FROM EMP WHERE ENO = 7")
+    >>> print(result.explain())
+
+    ``rules`` defaults to the paper's full repertoire (sections 4.1-4.5).
+    The rule set is validated once at construction — an invalid set fails
+    fast, not mid-optimization.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        rules: RuleSet | None = None,
+        registry: FunctionRegistry | None = None,
+        config: OptimizerConfig | None = None,
+        weights: CostWeights | None = None,
+    ):
+        self.catalog = catalog
+        self.rules = rules if rules is not None else extended_rules()
+        self.registry = registry if registry is not None else default_registry()
+        self.config = config if config is not None else OptimizerConfig()
+        self.weights = weights
+        validate_rules(self.rules, self.registry, raise_on_error=True)
+
+    def optimize(self, query: QueryBlock | str) -> OptimizationResult:
+        """Optimize a query block (or SQL text) into its best plan."""
+        if isinstance(query, str):
+            query = parse_query(query, self.catalog)
+        started = time.perf_counter()
+        model = CostModel(self.catalog, self.weights)
+        engine = StarEngine(
+            rules=self.rules,
+            catalog=self.catalog,
+            query=query,
+            registry=self.registry,
+            config=self.config,
+            model=model,
+        )
+        enumerator = JoinEnumerator(engine)
+        enumerator.run()
+
+        result_site = query.result_site or self.catalog.query_site
+        requirements = Requirements(
+            order=query.required_order() or None,
+            site=result_site,
+        )
+        final_stream = Stream(query.table_set, requirements)
+        alternatives = engine.ctx.glue.resolve(final_stream)
+        best = alternatives.cheapest(engine.ctx.model)
+        if best is None:
+            raise OptimizationError(f"no plan produced for query {query}")
+        elapsed = time.perf_counter() - started
+        return OptimizationResult(
+            query=query,
+            best_plan=best,
+            alternatives=alternatives,
+            stats=engine.stats,
+            plan_table_stats=engine.plan_table.stats,
+            pairs_considered=enumerator.pairs_considered,
+            elapsed_seconds=elapsed,
+            engine=engine,
+        )

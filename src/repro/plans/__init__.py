@@ -1,0 +1,59 @@
+"""Plans: LOLEPOP operators, the plan DAG, property vectors, and SAPs.
+
+This package defines the *objects the rules manipulate* (paper section 2):
+
+* :class:`~repro.plans.properties.PropertyVector` — Figure 2's relational
+  / physical / estimated properties of a plan;
+* :class:`~repro.plans.properties.Requirements` — required properties
+  attached to STAR arguments with ``[square brackets]`` (section 3.2);
+* :class:`~repro.plans.plan.PlanNode` — a node of the query evaluation
+  plan, a directed graph of LOLEPOPs (Figure 1);
+* :class:`~repro.plans.sap.SAP` — the Set of Alternative Plans abstract
+  data type that all STARs consume and produce (section 2.2);
+* :class:`~repro.plans.sap.Stream` — a not-yet-resolved SAP argument (a
+  table set plus accumulated requirements) that Glue resolves into plans.
+"""
+
+from repro.plans.operators import (
+    ACCESS,
+    BUILDIX,
+    FILTER,
+    GET,
+    JOIN,
+    SHIP,
+    SORT,
+    STORE,
+    UNION,
+    JOIN_FLAVORS,
+    LOLEPOPS,
+)
+from repro.plans.plan import PlanNode, plan_digest, render_functional, render_tree
+from repro.plans.properties import (
+    PropertyVector,
+    Requirements,
+    order_satisfies,
+)
+from repro.plans.sap import SAP, Stream
+
+__all__ = [
+    "ACCESS",
+    "BUILDIX",
+    "FILTER",
+    "GET",
+    "JOIN",
+    "JOIN_FLAVORS",
+    "LOLEPOPS",
+    "PlanNode",
+    "PropertyVector",
+    "Requirements",
+    "SAP",
+    "SHIP",
+    "SORT",
+    "STORE",
+    "Stream",
+    "UNION",
+    "order_satisfies",
+    "plan_digest",
+    "render_functional",
+    "render_tree",
+]

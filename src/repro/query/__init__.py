@@ -1,0 +1,56 @@
+"""Query model: scalar expressions, predicates, a small SQL parser, and
+query blocks.
+
+This package supplies the *non-procedural* side of the optimizer: what the
+user asked for.  The optimizer (``repro.optimizer``) turns a
+:class:`~repro.query.query.QueryBlock` into a procedural plan of LOLEPOPs.
+"""
+
+from repro.query.expressions import (
+    Arith,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    RowContext,
+)
+from repro.query.predicates import (
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Negation,
+    Predicate,
+    classify_predicates,
+    hashable_predicates,
+    indexable_predicates,
+    inner_only_predicates,
+    join_predicates,
+    sortable_predicates,
+)
+from repro.query.parser import parse_query, parse_predicate, parse_expression
+from repro.query.query import QueryBlock, OrderItem
+
+__all__ = [
+    "Arith",
+    "ColumnRef",
+    "Comparison",
+    "Conjunction",
+    "Disjunction",
+    "Expr",
+    "FuncCall",
+    "Literal",
+    "Negation",
+    "OrderItem",
+    "Predicate",
+    "QueryBlock",
+    "RowContext",
+    "classify_predicates",
+    "hashable_predicates",
+    "indexable_predicates",
+    "inner_only_predicates",
+    "join_predicates",
+    "parse_expression",
+    "parse_predicate",
+    "parse_query",
+    "sortable_predicates",
+]

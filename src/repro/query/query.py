@@ -1,0 +1,163 @@
+"""Query blocks: the non-procedural input to the optimizer.
+
+A :class:`QueryBlock` is the select-project-join block the optimizer
+plans: a set of tables (quantifiers), a conjunctive predicate set, a
+projection list, and optional result requirements (ORDER BY, delivery
+site).  The optimizer turns one of these into LOLEPOPs by referencing the
+``AccessRoot`` and ``JoinRoot`` STARs bottom-up (paper section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.expressions import ColumnRef, Expr
+from repro.query.predicates import Predicate
+
+
+@dataclass(frozen=True, slots=True)
+class OrderItem:
+    """One ORDER BY item (descending order is an extension; the paper's
+    ORDER property is an ordered list of columns)."""
+
+    column: ColumnRef
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.column} DESC" if self.descending else str(self.column)
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One projection item: an expression with an output name."""
+
+    expr: Expr
+    alias: str
+
+    def __str__(self) -> str:
+        if isinstance(self.expr, ColumnRef) and self.expr.column == self.alias:
+            return str(self.expr)
+        return f"{self.expr} AS {self.alias}"
+
+
+@dataclass(frozen=True, slots=True)
+class QueryBlock:
+    """A select-project-join query block."""
+
+    tables: tuple[str, ...]
+    select: tuple[SelectItem, ...]
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+    order_by: tuple[OrderItem, ...] = field(default_factory=tuple)
+    #: Site to which the result must be delivered; None means the
+    #: catalog's query site.
+    result_site: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise QueryError("a query block needs at least one table")
+        if len(set(self.tables)) != len(self.tables):
+            raise QueryError("duplicate tables in query block (self-joins need aliases)")
+        if not self.select:
+            raise QueryError("a query block needs a projection list")
+        known = set(self.tables)
+        for item in self.select:
+            unknown = item.expr.tables() - known
+            if unknown:
+                raise QueryError(f"projection references unknown tables {sorted(unknown)}")
+        for pred in self.predicates:
+            unknown = pred.tables() - known
+            if unknown:
+                raise QueryError(f"predicate {pred} references unknown tables {sorted(unknown)}")
+        for item in self.order_by:
+            if item.column.table not in known:
+                raise QueryError(f"ORDER BY references unknown table {item.column.table}")
+
+    # -- derived views used by the optimizer ---------------------------------
+
+    @property
+    def table_set(self) -> frozenset[str]:
+        return frozenset(self.tables)
+
+    def output_columns(self) -> frozenset[ColumnRef]:
+        """Columns the projection list reads."""
+        refs: set[ColumnRef] = set()
+        for item in self.select:
+            refs.update(item.expr.columns())
+        return frozenset(refs)
+
+    def referenced_columns(self) -> frozenset[ColumnRef]:
+        """All columns the query touches (projection, predicates, order)."""
+        refs = set(self.output_columns())
+        for pred in self.predicates:
+            refs.update(pred.columns())
+        for item in self.order_by:
+            refs.add(item.column)
+        return frozenset(refs)
+
+    def columns_for_table(self, table: str) -> frozenset[ColumnRef]:
+        """Columns of ``table`` the plan must carry (the C argument of the
+        single-table access STARs)."""
+        return frozenset(r for r in self.referenced_columns() if r.table == table)
+
+    def single_table_predicates(self, table: str) -> frozenset[Predicate]:
+        """Predicates referencing only ``table`` (applied at access time —
+        "pushing down the selection")."""
+        return frozenset(
+            p for p in self.predicates if p.tables() and p.tables() <= {table}
+        )
+
+    def multi_table_predicates(self) -> frozenset[Predicate]:
+        return frozenset(p for p in self.predicates if len(p.tables()) >= 2)
+
+    def eligible_predicates(
+        self, left: frozenset[str], right: frozenset[str]
+    ) -> frozenset[Predicate]:
+        """The *newly* eligible predicates P for joining two streams: those
+        whose tables are covered by left ∪ right but by neither side alone
+        (section 2.3's JoinRoot reference)."""
+        union = left | right
+        return frozenset(
+            p
+            for p in self.predicates
+            if p.tables() <= union and not p.tables() <= left and not p.tables() <= right
+            # single-table predicates were consumed at access time
+            and len(p.tables()) >= 1
+        )
+
+    def join_graph_edges(self) -> frozenset[frozenset[str]]:
+        """Pairs of tables linked by some multi-table predicate."""
+        edges: set[frozenset[str]] = set()
+        for pred in self.multi_table_predicates():
+            tables = sorted(pred.tables())
+            for i, a in enumerate(tables):
+                for b in tables[i + 1 :]:
+                    edges.add(frozenset((a, b)))
+        return frozenset(edges)
+
+    def interesting_order_columns(self) -> frozenset[ColumnRef]:
+        """Columns whose orders are worth preserving between plan classes
+        (System R's interesting orders): columns of multi-table
+        predicates (future merge joins) plus ORDER BY columns."""
+        cols: set[ColumnRef] = set()
+        for pred in self.multi_table_predicates():
+            cols.update(pred.columns())
+        for item in self.order_by:
+            cols.add(item.column)
+        return frozenset(cols)
+
+    def required_order(self) -> tuple[ColumnRef, ...]:
+        """The result ORDER requirement (ascending columns only feed the
+        ORDER property; descending items still sort correctly at run time)."""
+        return tuple(item.column for item in self.order_by)
+
+    def __str__(self) -> str:
+        text = "SELECT " + ", ".join(str(s) for s in self.select)
+        text += " FROM " + ", ".join(self.tables)
+        if self.predicates:
+            text += " WHERE " + " AND ".join(
+                f"({p})" if " OR " in str(p) else str(p) for p in self.predicates
+            )
+        if self.order_by:
+            text += " ORDER BY " + ", ".join(str(o) for o in self.order_by)
+        return text

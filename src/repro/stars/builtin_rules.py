@@ -1,0 +1,251 @@
+"""The paper's rule set, written in the STAR DSL.
+
+``BASE_RULES`` contains the single-table access STARs (simplified from
+[LEE 88]) and the R*-repertoire join STARs of sections 4.1-4.4.  The
+section 4.5 additions ship as separate ``extend`` snippets so benchmarks
+can toggle each strategy on and off *as data* — exactly the section-5
+extensibility story.
+
+Use :func:`default_rules` for the base repertoire and
+:func:`extended_rules` for everything.
+"""
+
+from __future__ import annotations
+
+from repro.stars.ast import RuleSet
+from repro.stars.dsl import parse_rules
+
+#: Single-table access rules (simplified versions of the STARs in
+#: [LEE 88]) plus the join rules of sections 4.1-4.4.
+BASE_RULES = """
+// ===== Single-table access ([LEE 88], simplified) ====================
+
+// AccessRoot is the top-most single-table STAR, referenced by Glue when
+// no plans exist yet for a table (section 3.2 step 1).
+star AccessRoot(T, C, P) {
+    alt -> TableAccess(T, C, P);
+    alt -> forall i in matching_indexes(T): IndexAccess(T, i, C, P);
+}
+
+// TableAccess (section 4.5.2): one flavor per storage-manager type; the
+// ACCESS dispatcher picks heap vs. B-tree from the catalog, and handles
+// re-accessing a materialized temp when T is a set of stored plans.
+star TableAccess(T, C, P) {
+    alt -> ACCESS(T, C, P);
+}
+
+// IndexAccess: a covering index answers alone; otherwise ACCESS the
+// index (key columns + TID, applying the key-column predicates) and GET
+// the remaining columns from the base table (Figure 1's inner stream).
+star IndexAccess(T, i, C, P) exclusive {
+    alt if covering(i, C, P) -> ACCESS(i, C, P);
+    otherwise -> GET(ACCESS(i, key_cols(i), index_preds(i, P)),
+                     T, C, P - index_preds(i, P));
+}
+
+// ===== Joins (paper section 4) =======================================
+
+// 4.1 Join permutation alternatives: either table set may be the outer.
+star JoinRoot(T1, T2, P) {
+    alt -> PermutedJoin(T1, T2, P);
+    alt -> PermutedJoin(T2, T1, P);
+}
+
+// 4.2 Join-site alternatives (as in R*).  Local queries skip the
+// RemoteJoin STAR; otherwise the join may be dictated to take place at
+// any site holding a table of the query, or at the query site.
+star PermutedJoin(T1, T2, P) exclusive {
+    alt if local_query() -> SitedJoin(T1, T2, P);
+    otherwise -> forall s in candidate_sites(): RemoteJoin(T1, T2, P, s);
+}
+
+star RemoteJoin(T1, T2, P, s) {
+    alt -> SitedJoin(T1 [site = s], T2 [site = s], P);
+}
+
+// 4.3 Store inner stream?  Condition C1: the inner is a composite, or
+// its stored site differs from its required site.
+star SitedJoin(T1, T2, P) exclusive {
+    alt if needs_temp(T2) -> JMeth(T1, T2 [temp], P);
+    otherwise -> JMeth(T1, T2, P);
+}
+
+// 4.4 Alternative join methods: nested-loop (always possible; join and
+// inner predicates pushed down to the inner stream as *parameters*, so
+// Glue re-references the single-table STARs) and sort-merge (only when
+// sortable predicates exist; dictates the order of both inputs).
+star JMeth(T1, T2, P) {
+    where JP = join_preds(P);
+    where IP = inner_preds(P, T2);
+    where SP = sortable_preds(P, T1, T2);
+    alt -> JOIN(NL, Glue(T1, {}), Glue(T2, JP | IP), JP, P - (JP | IP));
+    alt if SP != {} ->
+        JOIN(MG, Glue(T1 [order = merge_cols(SP, T1)], {}),
+                 Glue(T2 [order = merge_cols(SP, T2)], IP),
+                 SP, P - (IP | SP));
+}
+"""
+
+#: 4.5.1 Hash join: bucketize both streams; only single-table predicates
+#: push to the inner; all multi-table predicates stay residual (hash
+#: collisions must be rechecked).
+HASH_JOIN_RULES = """
+extend JMeth {
+    where HP = hashable_preds(P, T1, T2);
+    alt if HP != {} -> JOIN(HA, Glue(T1, {}), Glue(T2, IP), HP, P - IP);
+}
+"""
+
+#: 4.5.2 Forcing projection: materialize the selected/projected inner as
+#: a temp and re-ACCESS it (all columns, '*'), pushing the join predicates
+#: down only to that access so the temp is built once.
+FORCED_PROJECTION_RULES = """
+extend JMeth {
+    alt -> JOIN(NL, Glue(T1, {}),
+                ACCESS(Glue(T2 [temp], IP), *, JP),
+                JP, P - (IP | JP));
+}
+"""
+
+#: 4.5.3 Dynamic indexes: force Glue to ensure the inner has an access
+#: path on the columns of the single-table and indexable predicates
+#: ('=' predicates first), creating the index if necessary.
+DYNAMIC_INDEX_RULES = """
+extend JMeth {
+    where XP = indexable_preds(P, T1, T2);
+    where IX = index_cols(IP, XP, T2);
+    alt if XP != {} ->
+        JOIN(NL, Glue(T1, {}),
+             Glue(T2 [paths >= IX], XP | IP),
+             XP - IP, P - (XP | IP));
+}
+"""
+
+#: TID-sorting (listed among the strategies the paper omitted "for
+#: brevity"): sort the TIDs taken from an unordered index before GETting,
+#: so data-page I/O happens in physical page order.  The resulting stream
+#: loses the index's column order but fetches each page at most once.
+TID_SORT_RULES = """
+extend AccessRoot {
+    alt -> forall i in matching_indexes(T): TidSortedAccess(T, i, C, P);
+}
+
+star TidSortedAccess(T, i, C, P) exclusive {
+    alt if covering(i, C, P) -> ACCESS(i, C, P);
+    otherwise -> GET(SORT(ACCESS(i, key_cols(i), index_preds(i, P)), tid_of(T)),
+                     T, C, P - index_preds(i, P));
+}
+"""
+
+#: OR-ing of multiple indexes (also on the paper's omitted-for-brevity
+#: list): a two-branch disjunction whose branches are each sargable on an
+#: index becomes a UNION of TID-only index scans, deduplicated on TID,
+#: then a GET of the needed columns applying the full predicate set.
+OR_INDEX_RULES = """
+extend AccessRoot {
+    alt -> forall d in or_splittable(T, P): OrIndexAccess(T, d, C, P);
+}
+
+star OrIndexAccess(T, d, C, P) {
+    alt -> GET(DEDUP(UNION(BranchAccess(T, left_branch(d)),
+                           BranchAccess(T, right_branch(d))),
+                     tid_of(T)),
+               T, C, P);
+}
+
+star BranchAccess(T, b) {
+    alt -> forall i in branch_indexes(T, b): ACCESS(i, tid_cols(T), pred_set(b));
+}
+"""
+
+#: AND-ing of multiple indexes (the other half of the paper's omitted
+#: "ANDing and ORing of multiple indexes"): two conjunct predicates each
+#: sargable on a different index become two TID-only index probes whose
+#: TID streams are intersected before a single GET.
+AND_INDEX_RULES = """
+extend AccessRoot {
+    alt -> forall pr in and_splittable(T, P): AndIndexAccess(T, pr, C, P);
+}
+
+star AndIndexAccess(T, pr, C, P) {
+    alt -> GET(INTERSECT(AndBranchAccess(T, pair_first(pr)),
+                         AndBranchAccess(T, pair_second(pr)),
+                         tid_of(T)),
+               T, C, P);
+}
+
+star AndBranchAccess(T, b) {
+    alt -> forall i in branch_indexes(T, b): ACCESS(i, tid_cols(T), pred_set(b));
+}
+"""
+
+#: Semijoin filtration (the paper's omitted "filtration methods such as
+#: semi-joins and Bloom-joins" [BERN 81]): instead of shipping the whole
+#: remote inner, ship only the outer's join-column projection to the
+#: inner's home site, semijoin-filter the inner there, and ship back just
+#: the surviving rows for the final hash join.
+SEMIJOIN_RULES = """
+extend JMeth {
+    where HPS = hashable_preds(P, T1, T2);
+    alt if HPS != {} and semijoin_applicable(T2) ->
+        JOIN(HA, Glue(T1, {}),
+             SHIP(JOIN(SJ,
+                       Glue(bare_stream(T2), IP),
+                       SHIP(PROJECT(Glue(bare_stream(T1), {}),
+                                    side_cols(HPS, T1)),
+                            home_site(T2)),
+                       HPS, {}),
+                  required_site(T2)),
+             HPS, P - IP);
+}
+"""
+
+#: The section-2 OrderedStream example, used by tests and the quickstart
+#: to demonstrate rule authoring (not part of the join repertoire).
+ORDERED_STREAM_RULES = """
+star OrderedStream(T, C, P, ord) {
+    alt -> SORT(ACCESS(T, C, P), ord);
+    alt -> forall i in matching_indexes(T):
+               OrderedIndexStream(T, i, C, P, ord);
+}
+
+star OrderedIndexStream(T, i, C, P, ord) exclusive {
+    alt if prefix_matches(ord, i) -> GET(ACCESS(i, key_cols(i), {}), T, C, P);
+    otherwise -> SORT(ACCESS(T, C, P), ord);
+}
+"""
+
+
+def default_rules() -> RuleSet:
+    """The base repertoire: single-table access + sections 4.1-4.4."""
+    return parse_rules(BASE_RULES)
+
+
+def extended_rules(
+    hash_join: bool = True,
+    forced_projection: bool = True,
+    dynamic_index: bool = True,
+    tid_sort: bool = False,
+    or_index: bool = False,
+    and_index: bool = False,
+    semijoin: bool = False,
+) -> RuleSet:
+    """The base repertoire plus the requested section 4.5 strategies
+    (and, optionally, the paper's omitted TID-sort, index-OR/AND-ing and
+    semijoin-filtration strategies)."""
+    rules = default_rules()
+    if hash_join:
+        parse_rules(HASH_JOIN_RULES, base=rules)
+    if forced_projection:
+        parse_rules(FORCED_PROJECTION_RULES, base=rules)
+    if dynamic_index:
+        parse_rules(DYNAMIC_INDEX_RULES, base=rules)
+    if tid_sort:
+        parse_rules(TID_SORT_RULES, base=rules)
+    if or_index:
+        parse_rules(OR_INDEX_RULES, base=rules)
+    if and_index:
+        parse_rules(AND_INDEX_RULES, base=rules)
+    if semijoin:
+        parse_rules(SEMIJOIN_RULES, base=rules)
+    return rules

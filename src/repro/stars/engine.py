@@ -1,0 +1,597 @@
+"""The STAR interpreter.
+
+Section 2.3: "Each reference of a STAR is evaluated by replacing the
+reference with its alternative definitions that satisfy the condition of
+applicability, and replacing the parameters of those definitions with the
+arguments of the reference.  Unlike transformational rules, this
+substitution process is remarkably simple and fast, the fanout of any
+reference of a STAR is limited to just those STARs referenced in its
+definition."
+
+The engine expands a root STAR reference top-down, memoizes repeated
+references (shared plan fragments are evaluated only once — E9), maps
+LOLEPOP references over the SAPs of their plan arguments (section 2.2's
+LISP map), and delegates required-property matching to Glue.  Everything
+is instrumented (:class:`ExpansionStats`) so experiment E6 can compare
+the work done against a transformational optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.catalog.catalog import Catalog
+from repro.config import OptimizerConfig
+from repro.cost.model import CostModel
+from repro.cost.propfuncs import PlanFactory
+from repro.errors import ExpansionError, ReproError, RuleError
+from repro.plans.operators import (
+    ACCESS,
+    BUILDIX,
+    DEDUP,
+    FILTER,
+    INTERSECT,
+    PROJECT,
+    GET,
+    JOIN,
+    LOLEPOPS,
+    SHIP,
+    SORT,
+    STORE,
+    UNION,
+)
+from repro.plans.plan import PlanNode, plan_digest
+from repro.plans.properties import Requirements
+from repro.plans.sap import SAP, Stream
+from repro.query.query import QueryBlock
+from repro.stars.ast import (
+    Alternative,
+    Argument,
+    Call,
+    Compare,
+    Const,
+    ForAll,
+    Logical,
+    Negate,
+    Param,
+    RequiredSpec,
+    RuleExpr,
+    RuleSet,
+    SetExpr,
+    SetLiteral,
+    StarDef,
+    StarRef,
+    Term,
+)
+from repro.stars.glue import Glue
+from repro.stars.plantable import PlanTable
+from repro.stars.registry import FunctionRegistry, default_registry
+
+#: Name of the top-most single-table STAR that Glue re-references when no
+#: plans exist yet for a table (section 3.2 step 1).
+ACCESS_ROOT = "AccessRoot"
+
+
+@dataclass
+class ExpansionStats:
+    """Instrumentation of one engine's lifetime (one query optimization)."""
+
+    star_references: int = 0
+    memo_hits: int = 0
+    alternatives_considered: int = 0
+    conditions_evaluated: int = 0
+    lolepop_calls: int = 0
+    plans_emitted: int = 0
+    combos_skipped: int = 0
+    glue_references: int = 0
+    forall_iterations: int = 0
+    veneers_added: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "star_references": self.star_references,
+            "memo_hits": self.memo_hits,
+            "alternatives_considered": self.alternatives_considered,
+            "conditions_evaluated": self.conditions_evaluated,
+            "lolepop_calls": self.lolepop_calls,
+            "plans_emitted": self.plans_emitted,
+            "combos_skipped": self.combos_skipped,
+            "glue_references": self.glue_references,
+            "forall_iterations": self.forall_iterations,
+            "veneers_added": self.veneers_added,
+        }
+
+
+class RuleContext:
+    """Everything rule functions and Glue can see during expansion."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: QueryBlock,
+        config: OptimizerConfig,
+        rules: RuleSet,
+        registry: FunctionRegistry,
+        factory: PlanFactory,
+        plan_table: PlanTable,
+    ):
+        self.catalog = catalog
+        self.query = query
+        self.config = config
+        self.rules = rules
+        self.registry = registry
+        self.factory = factory
+        self.model = factory.model
+        self.plan_table = plan_table
+        self.stats = ExpansionStats()
+        self.access_root = ACCESS_ROOT
+        self.interesting = query.interesting_order_columns()
+        self.trace_lines: list[str] = []
+        # Back-references installed by StarEngine.__init__.
+        self.engine: "StarEngine" = None  # type: ignore[assignment]
+        self.glue: Glue = None  # type: ignore[assignment]
+
+
+class StarEngine:
+    """Expands STAR references into SAPs."""
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        catalog: Catalog,
+        query: QueryBlock,
+        registry: FunctionRegistry | None = None,
+        config: OptimizerConfig | None = None,
+        model: CostModel | None = None,
+        plan_table: PlanTable | None = None,
+    ):
+        config = config if config is not None else OptimizerConfig()
+        factory = PlanFactory(catalog, model)
+        if plan_table is None:
+            plan_table = PlanTable(
+                factory.model,
+                prune=config.prune,
+                interesting=query.interesting_order_columns(),
+            )
+        self.ctx = RuleContext(
+            catalog=catalog,
+            query=query,
+            config=config,
+            rules=rules,
+            registry=registry if registry is not None else default_registry(),
+            factory=factory,
+            plan_table=plan_table,
+        )
+        self.ctx.engine = self
+        self.ctx.glue = Glue(self.ctx)
+        self._memo: dict[tuple, SAP] = {}
+        self._depth = 0
+
+    # -- public API ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> ExpansionStats:
+        return self.ctx.stats
+
+    @property
+    def plan_table(self) -> PlanTable:
+        return self.ctx.plan_table
+
+    def expand(self, name: str, args: tuple = ()) -> SAP:
+        """Expand a STAR reference with the given arguments into its SAP."""
+        star = self.ctx.rules.get(name)
+        return self._expand_star(star, tuple(args))
+
+    def trace(self) -> str:
+        """The collected expansion trace (empty unless config.trace)."""
+        return "\n".join(self.ctx.trace_lines)
+
+    # -- STAR expansion --------------------------------------------------------------
+
+    def _expand_star(self, star: StarDef, args: tuple) -> SAP:
+        ctx = self.ctx
+        ctx.stats.star_references += 1
+        if len(args) != len(star.params):
+            raise RuleError(
+                f"STAR {star.name} takes {len(star.params)} argument(s), "
+                f"got {len(args)}"
+            )
+        key = (star.name, tuple(_canonical(a) for a in args))
+        cached = self._memo.get(key)
+        if cached is not None:
+            ctx.stats.memo_hits += 1
+            return cached
+
+        if self._depth >= ctx.config.max_depth:
+            raise ExpansionError(
+                f"expansion depth limit ({ctx.config.max_depth}) exceeded at "
+                f"STAR {star.name}: the rule set likely contains a cycle"
+            )
+        self._depth += 1
+        try:
+            env: dict[str, Any] = dict(zip(star.params, args))
+            for bound, expr in star.bindings:
+                env[bound] = self._eval_expr(expr, env)
+            result = self._eval_alternatives(star, env)
+        finally:
+            self._depth -= 1
+
+        if ctx.config.trace:
+            ctx.trace_lines.append(
+                f"{'  ' * self._depth}{star.name}"
+                f"({', '.join(_short(a) for a in args)}) -> {len(result)} plan(s)"
+            )
+        self._memo[key] = result
+        return result
+
+    def _eval_alternatives(self, star: StarDef, env: dict[str, Any]) -> SAP:
+        ctx = self.ctx
+        limit = ctx.config.max_plans_per_reference
+        result = SAP()
+        for alt in star.alternatives:
+            # Evaluation-order control [LEE 88]: alternatives are tried
+            # in definition order; an optional budget stops the search
+            # once enough plans exist for this reference.
+            if limit is not None and len(result) >= limit:
+                break
+            ctx.stats.alternatives_considered += 1
+            applicable = self._alternative_applies(alt, env)
+            if not applicable:
+                continue
+            result = result.union(self._eval_term(alt.term, env))
+            if star.exclusive:
+                break
+        return result
+
+    def _alternative_applies(self, alt: Alternative, env: dict[str, Any]) -> bool:
+        if alt.otherwise or alt.condition is None:
+            return True
+        self.ctx.stats.conditions_evaluated += 1
+        return bool(self._eval_expr(alt.condition, env))
+
+    # -- terms ------------------------------------------------------------------------
+
+    def _eval_term(self, term: Term | RuleExpr, env: dict[str, Any]) -> SAP:
+        if isinstance(term, StarRef):
+            return self._eval_star_ref(term, env)
+        if isinstance(term, ForAll):
+            values = self._eval_expr(term.set_expr, env)
+            result = SAP()
+            for value in values:
+                self.ctx.stats.forall_iterations += 1
+                child = dict(env)
+                child[term.var] = value
+                result = result.union(self._eval_term(term.term, child))
+            return result
+        if isinstance(term, RuleExpr):
+            # A Call whose target could not be classified at parse time
+            # (STAR vs. registry function); it must produce plans here.
+            return _as_sap(self._eval_expr(term, env))
+        raise RuleError(f"unknown term type {type(term).__name__}")
+
+    def _eval_star_ref(self, ref: StarRef, env: dict[str, Any]) -> SAP:
+        values = [self._eval_argument(arg, env) for arg in ref.args]
+        if ref.name == "Glue":
+            return self._call_glue(values)
+        if ref.name in LOLEPOPS:
+            return self._call_lolepop(ref.name, ref.flavor, values)
+        star = self.ctx.rules.get(ref.name)
+        return self._expand_star(star, tuple(values))
+
+    def _eval_argument(self, arg: Argument, env: dict[str, Any]) -> Any:
+        if isinstance(arg.value, Term):
+            value: Any = self._eval_term(arg.value, env)
+        else:
+            value = self._eval_expr(arg.value, env)
+        if arg.required is None or arg.required.is_empty():
+            return value
+        req = self._eval_required(arg.required, env)
+        if isinstance(value, Stream):
+            return value.require(req)
+        if isinstance(value, SAP):
+            return self.ctx.glue.augment(value, req)
+        raise RuleError(
+            f"required properties {req} attached to a non-stream argument "
+            f"({type(value).__name__})"
+        )
+
+    def _eval_required(self, spec: RequiredSpec, env: dict[str, Any]) -> Requirements:
+        order = None
+        if spec.order is not None:
+            order = tuple(self._eval_expr(spec.order, env))
+        site = None
+        if spec.site is not None:
+            site = self._eval_expr(spec.site, env)
+        paths = None
+        if spec.paths is not None:
+            paths = tuple(self._eval_expr(spec.paths, env))
+        return Requirements(order=order, site=site, temp=spec.temp, paths=paths)
+
+    # -- Glue and LOLEPOP dispatch ----------------------------------------------------
+
+    def _call_glue(self, values: list[Any]) -> SAP:
+        if not values:
+            raise RuleError("Glue needs a stream argument")
+        target = values[0]
+        extra = frozenset(values[1]) if len(values) > 1 and values[1] else frozenset()
+        if isinstance(target, Stream):
+            return self.ctx.glue.resolve(target, extra_preds=extra)
+        if isinstance(target, SAP):
+            return self.ctx.glue.augment(
+                target, Requirements(extra_preds=frozenset(extra))
+            )
+        raise RuleError(f"Glue target must be a stream, got {type(target).__name__}")
+
+    def _call_lolepop(self, name: str, flavor: str | None, values: list[Any]) -> SAP:
+        ctx = self.ctx
+        ctx.stats.lolepop_calls += 1
+        factory = ctx.factory
+
+        def mapped(sap: SAP, build) -> SAP:
+            plans = []
+            for plan in sap:
+                try:
+                    plans.append(build(plan))
+                except ReproError:
+                    ctx.stats.combos_skipped += 1
+            result = SAP(plans)
+            ctx.stats.plans_emitted += len(result)
+            return result
+
+        if name == JOIN:
+            outer, inner = _as_sap(values[0]), _as_sap(values[1])
+            join_preds = frozenset(values[2]) if len(values) > 2 and values[2] else frozenset()
+            residual = frozenset(values[3]) if len(values) > 3 and values[3] else frozenset()
+            plans = []
+            for o in outer:
+                for i in inner:
+                    try:
+                        plans.append(factory.join(flavor or "NL", o, i, join_preds, residual))
+                    except ReproError:
+                        ctx.stats.combos_skipped += 1
+            result = SAP(plans)
+            ctx.stats.plans_emitted += len(result)
+            return result
+
+        if name == SORT:
+            sap, order = _as_sap(values[0]), tuple(values[1])
+            return mapped(sap, lambda p: factory.sort(p, order))
+
+        if name == SHIP:
+            sap, site = _as_sap(values[0]), values[1]
+            return mapped(
+                sap, lambda p: p if p.props.site == site else factory.ship(p, site)
+            )
+
+        if name == ACCESS:
+            return self._access(values)
+
+        if name == GET:
+            sap = _as_sap(values[0])
+            table = values[1]
+            columns = _as_colset(values[2])
+            preds = frozenset(values[3]) if len(values) > 3 and values[3] else frozenset()
+            return mapped(sap, lambda p: factory.get(p, table, columns, preds))
+
+        if name == STORE:
+            return mapped(_as_sap(values[0]), factory.store)
+
+        if name == BUILDIX:
+            sap, key = _as_sap(values[0]), tuple(values[1])
+            return mapped(sap, lambda p: factory.buildix(p, key))
+
+        if name == FILTER:
+            sap = _as_sap(values[0])
+            preds = frozenset(values[1])
+            return mapped(sap, lambda p: factory.filter(p, preds))
+
+        if name == DEDUP:
+            sap, key = _as_sap(values[0]), tuple(values[1])
+            return mapped(sap, lambda p: factory.dedup(p, key))
+
+        if name == PROJECT:
+            sap, columns = _as_sap(values[0]), frozenset(values[1])
+            return mapped(sap, lambda p: factory.project(p, columns))
+
+        if name == INTERSECT:
+            left, right = _as_sap(values[0]), _as_sap(values[1])
+            key = tuple(values[2])
+            plans = []
+            for a in left:
+                for b in right:
+                    try:
+                        plans.append(factory.intersect(a, b, key))
+                    except ReproError:
+                        ctx.stats.combos_skipped += 1
+            result = SAP(plans)
+            ctx.stats.plans_emitted += len(result)
+            return result
+
+        if name == UNION:
+            left, right = _as_sap(values[0]), _as_sap(values[1])
+            plans = []
+            for a in left:
+                for b in right:
+                    try:
+                        plans.append(factory.union(a, b))
+                    except ReproError:
+                        ctx.stats.combos_skipped += 1
+            result = SAP(plans)
+            ctx.stats.plans_emitted += len(result)
+            return result
+
+        raise RuleError(f"no dispatcher for LOLEPOP {name}")
+
+    def _access(self, values: list[Any]) -> SAP:
+        """ACCESS dispatch: the flavor follows from the target's type —
+        a table name (heap/btree per catalog), an AccessPath (index), or a
+        SAP of stored plans (temp re-access, section 4.5.2)."""
+        ctx = self.ctx
+        factory = ctx.factory
+        target = values[0]
+        columns = _as_colset(values[1]) if len(values) > 1 else None
+        preds = frozenset(values[2]) if len(values) > 2 and values[2] else frozenset()
+
+        if isinstance(target, Stream) and len(target.tables) == 1:
+            target = next(iter(target.tables))
+
+        if isinstance(target, str):
+            result = SAP([factory.access_base(target, columns or frozenset(), preds)])
+            ctx.stats.plans_emitted += len(result)
+            return result
+
+        from repro.catalog.schema import AccessPath
+
+        if isinstance(target, AccessPath):
+            plan = factory.access_index(target.table, target, columns, preds)
+            ctx.stats.plans_emitted += 1
+            return SAP([plan])
+
+        if isinstance(target, SAP):
+            plans = []
+            for p in target:
+                try:
+                    if p.op == ACCESS and p.flavor == "temp" and p.inputs:
+                        plans.append(factory.access_temp(p.inputs[0], columns, preds))
+                    elif p.props.stored_as is not None and p.inputs:
+                        plans.append(factory.access_temp(p, columns, preds))
+                    else:
+                        ctx.stats.combos_skipped += 1
+                except ReproError:
+                    ctx.stats.combos_skipped += 1
+            result = SAP(plans)
+            ctx.stats.plans_emitted += len(result)
+            return result
+
+        raise RuleError(f"ACCESS target must be table/path/plans, got {type(target).__name__}")
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _eval_expr(self, expr: RuleExpr, env: dict[str, Any]) -> Any:
+        if isinstance(expr, Param):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise RuleError(f"unbound rule parameter {expr.name!r}") from None
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Call):
+            # STARs shadow registry functions: a call to a defined STAR
+            # (or to Glue / a LOLEPOP) evaluates to its SAP.
+            if (
+                self.ctx.rules.has(expr.name)
+                or expr.name == "Glue"
+                or expr.name in LOLEPOPS
+            ):
+                ref = StarRef(
+                    expr.name, tuple(Argument(a) for a in expr.args), flavor=None
+                )
+                return self._eval_star_ref(ref, env)
+            fn = self.ctx.registry.get(expr.name)
+            args = [self._eval_expr(a, env) for a in expr.args]
+            return fn(self.ctx, *args)
+        if isinstance(expr, SetLiteral):
+            return frozenset(self._eval_expr(i, env) for i in expr.items)
+        if isinstance(expr, SetExpr):
+            left = _as_set(self._eval_expr(expr.left, env))
+            right = _as_set(self._eval_expr(expr.right, env))
+            if expr.op == "|":
+                return left | right
+            if expr.op == "&":
+                return left & right
+            return left - right
+        if isinstance(expr, Compare):
+            left = self._eval_expr(expr.left, env)
+            right = self._eval_expr(expr.right, env)
+            return _compare(expr.op, left, right)
+        if isinstance(expr, Logical):
+            if expr.op == "and":
+                return all(bool(self._eval_expr(p, env)) for p in expr.parts)
+            return any(bool(self._eval_expr(p, env)) for p in expr.parts)
+        if isinstance(expr, Negate):
+            return not bool(self._eval_expr(expr.part, env))
+        raise RuleError(f"unknown expression type {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Small coercion helpers
+# ---------------------------------------------------------------------------
+
+
+def _as_sap(value: Any) -> SAP:
+    if isinstance(value, SAP):
+        return value
+    if isinstance(value, PlanNode):
+        return SAP([value])
+    raise RuleError(f"expected a plan set, got {type(value).__name__}")
+
+
+def _as_set(value: Any) -> frozenset:
+    if isinstance(value, frozenset):
+        return value
+    if isinstance(value, (set, tuple, list)):
+        return frozenset(value)
+    raise RuleError(f"expected a set, got {type(value).__name__}")
+
+
+def _as_colset(value: Any) -> Any:
+    """Column-set arguments: '*' means "all columns of the source"."""
+    if value == "*" or value is None:
+        return None
+    return frozenset(value)
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "in":
+        return left in right
+    if isinstance(left, (frozenset, set)) or isinstance(right, (frozenset, set)):
+        left_s, right_s = _as_set(left), _as_set(right)
+        if op == "<=":
+            return left_s <= right_s
+        if op == "<":
+            return left_s < right_s
+        if op == ">=":
+            return left_s >= right_s
+        if op == ">":
+            return left_s > right_s
+    if op == "<=":
+        return left <= right
+    if op == "<":
+        return left < right
+    if op == ">=":
+        return left >= right
+    if op == ">":
+        return left > right
+    raise RuleError(f"unknown comparison {op!r}")
+
+
+def _canonical(value: Any) -> Any:
+    """A hashable, content-based memoization key component."""
+    if isinstance(value, Stream):
+        fixed = (
+            tuple(plan_digest(p) for p in value.fixed_plans)
+            if value.fixed_plans is not None
+            else None
+        )
+        return ("stream", value.tables, value.requirements, fixed)
+    if isinstance(value, SAP):
+        return ("sap", tuple(sorted(plan_digest(p) for p in value)))
+    if isinstance(value, PlanNode):
+        return ("plan", plan_digest(value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_canonical(v) for v in value)
+    return value
+
+
+def _short(value: Any) -> str:
+    if isinstance(value, frozenset):
+        return "{" + ", ".join(sorted(str(v) for v in value)[:3]) + ("…}" if len(value) > 3 else "}")
+    text = str(value)
+    return text if len(text) <= 40 else text[:37] + "…"

@@ -1,0 +1,267 @@
+"""Glue: impedance matching between available and required properties.
+
+Paper section 3.2 — Glue
+
+1. checks if any plans exist for the required relational properties
+   (TABLES, COLS, PREDS), referencing the top-most STAR with those
+   parameters if not;
+2. adds "Glue" operators as a "veneer" to achieve the required physical
+   properties (SORT for ORDER, SHIP for SITE, STORE for TEMP, and
+   BUILDIX + index ACCESS for the ``paths ≥ IX`` requirement of 4.5.3);
+3. either returns the cheapest plan satisfying the requirements or
+   (optionally) all plans satisfying the requirements.
+
+Predicate push-down rides along as ``Requirements.extra_preds``: Glue
+re-references the single-table STARs with the pushed predicates so plans
+can *exploit* them (e.g. probe an index with a converted join predicate)
+"rather than retrofitting a FILTER LOLEPOP to existing plans" (4.4).
+Predicates that reference tables outside the stream (sideways information
+passing) are never baked into a materialized temp — they are applied by
+the re-ACCESS of the temp, "to prevent the temp from being re-materialized
+for each outer tuple" (4.5.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import GlueError, ReproError
+from repro.plans.operators import ACCESS
+from repro.plans.plan import PlanNode
+from repro.plans.properties import Requirements, order_satisfies
+from repro.plans.sap import SAP, Stream
+from repro.query.predicates import Predicate
+
+if TYPE_CHECKING:
+    from repro.stars.engine import RuleContext
+
+
+class Glue:
+    """The Glue mechanism, bound to one expansion context."""
+
+    def __init__(self, ctx: "RuleContext"):
+        self._ctx = ctx
+
+    # -- entry points -----------------------------------------------------------
+
+    def resolve(
+        self,
+        stream: Stream,
+        extra_preds: Iterable[Predicate] = (),
+        mode: str | None = None,
+    ) -> SAP:
+        """Produce plans for ``stream`` satisfying its accumulated
+        requirements, pushing ``extra_preds`` down into the stream."""
+        ctx = self._ctx
+        ctx.stats.glue_references += 1
+        req = stream.requirements.merged(
+            Requirements(extra_preds=frozenset(extra_preds))
+        )
+        bakeable = frozenset(
+            p for p in req.extra_preds if p.tables() <= stream.tables
+        )
+        sideways = req.extra_preds - bakeable
+
+        if req.paths is not None or req.temp:
+            # Materialization path: build candidates WITHOUT sideways
+            # predicates (they change per outer tuple), bake only the
+            # stream-local ones into the temp.
+            candidates = self._candidates(stream, bakeable)
+            plans: list[PlanNode] = []
+            for plan in candidates:
+                plans.extend(self._materialize_veneer(plan, req, sideways))
+        else:
+            candidates = self._candidates(stream, bakeable | sideways)
+            plans = []
+            for plan in candidates:
+                plans.extend(self._stream_veneer(plan, req))
+
+        result = SAP(plans).satisfying(req.without_preds())
+        if not result:
+            raise GlueError(
+                f"Glue could not satisfy {req} for stream {stream} "
+                f"({len(candidates)} candidate plan(s))"
+            )
+        mode = mode if mode is not None else self._ctx.config.glue_mode
+        if mode == "cheapest":
+            cheapest = result.cheapest(ctx.model)
+            assert cheapest is not None
+            return SAP([cheapest])
+        if not ctx.config.prune:
+            return result
+        return result.pruned(ctx.model, ctx.interesting)
+
+    def augment(self, sap: SAP, req: Requirements) -> SAP:
+        """Apply veneers to already-resolved plans (used when a rule puts
+        required properties on a SAP-valued argument)."""
+        plans: list[PlanNode] = []
+        for plan in sap:
+            if req.paths is not None or req.temp:
+                plans.extend(self._materialize_veneer(plan, req, req.extra_preds))
+            else:
+                missing = req.extra_preds - plan.props.preds
+                base = self._ctx.factory.filter(plan, missing) if missing else plan
+                plans.extend(self._stream_veneer(base, req))
+        result = SAP(plans).satisfying(req.without_preds())
+        if not result:
+            raise GlueError(f"Glue could not satisfy {req} on given plans")
+        if not self._ctx.config.prune:
+            return result
+        return result.pruned(self._ctx.model, self._ctx.interesting)
+
+    # -- candidate generation (step 1) --------------------------------------------
+
+    def _candidates(self, stream: Stream, push: frozenset[Predicate]) -> SAP:
+        """Find or build plans with the required relational properties."""
+        ctx = self._ctx
+        if stream.fixed_plans is not None:
+            plans = []
+            for plan in stream.fixed_plans:
+                missing = push - plan.props.preds
+                plans.append(ctx.factory.filter(plan, missing) if missing else plan)
+            return SAP(plans)
+
+        standard = self._standard_preds(stream.tables)
+        target = standard | push
+        found = ctx.plan_table.lookup(stream.tables, target)
+        if found is not None:
+            return found
+
+        if len(stream.tables) == 1:
+            # Re-reference the top-most single-table STAR with the pushed
+            # predicates so access methods can exploit them (section 4.4).
+            (table,) = stream.tables
+            columns = ctx.query.columns_for_table(table)
+            sap = ctx.engine.expand(ctx.access_root, (table, columns, target))
+            if not sap:
+                raise GlueError(f"no access plans for table {table}")
+            return ctx.plan_table.insert(stream.tables, target, sap)
+
+        # Composite stream: plans must have been enumerated already;
+        # retrofit a FILTER for any extra predicates.
+        base = ctx.plan_table.lookup(stream.tables, standard)
+        if base is None:
+            raise GlueError(
+                f"no plans exist for composite stream over {sorted(stream.tables)}; "
+                "join enumeration must populate the plan table bottom-up"
+            )
+        if not push:
+            return base
+        filtered = base.map(lambda p: self._try(lambda: ctx.factory.filter(p, push)))
+        return ctx.plan_table.insert(stream.tables, target, filtered)
+
+    def _standard_preds(self, tables: frozenset[str]) -> frozenset[Predicate]:
+        """Predicates a plan over ``tables`` has applied when built by the
+        normal bottom-up enumeration: every query predicate local to the
+        table set."""
+        return frozenset(
+            p for p in self._ctx.query.predicates if p.tables() and p.tables() <= tables
+        )
+
+    # -- veneers (step 2) ------------------------------------------------------------
+
+    def _try(self, builder):
+        try:
+            return builder()
+        except ReproError:
+            self._ctx.stats.combos_skipped += 1
+            return None
+
+    def _stream_veneer(self, plan: PlanNode, req: Requirements) -> list[PlanNode]:
+        """SORT / SHIP veneers for a stream requirement.  When both are
+        needed, both orderings are generated (Figure 3 shows SHIP∘SORT and
+        SORT∘SHIP variants) and cost pruning picks the winner."""
+        ctx = self._ctx
+        factory = ctx.factory
+        props = plan.props
+        needs_ship = req.site is not None and props.site != req.site
+        needs_sort = req.order is not None and not order_satisfies(props.order, req.order)
+        if needs_sort and not frozenset(req.order) <= props.cols:
+            return []  # cannot sort on columns the stream does not carry
+
+        variants: list[PlanNode] = []
+        if not needs_ship and not needs_sort:
+            return [plan]
+        if needs_ship and needs_sort:
+            first = self._try(lambda: factory.ship(factory.sort(plan, req.order), req.site))
+            second = self._try(lambda: factory.sort(factory.ship(plan, req.site), req.order))
+            variants.extend(v for v in (first, second) if v is not None)
+        elif needs_ship:
+            shipped = self._try(lambda: factory.ship(plan, req.site))
+            if shipped is not None:
+                variants.append(shipped)
+        else:
+            sorted_plan = self._try(lambda: factory.sort(plan, req.order))
+            if sorted_plan is not None:
+                variants.append(sorted_plan)
+        for variant in variants:
+            ctx.stats.veneers_added += 1
+        return variants
+
+    def _materialize_veneer(
+        self,
+        plan: PlanNode,
+        req: Requirements,
+        sideways: frozenset[Predicate],
+    ) -> list[PlanNode]:
+        """STORE (+ BUILDIX) veneers for ``temp`` / ``paths`` requirements.
+
+        Pipeline: [SHIP] → [SORT] → STORE → [BUILDIX] → ACCESS, with the
+        sideways predicates applied only by the final ACCESS so the temp
+        is built once and probed many times.
+        """
+        ctx = self._ctx
+        factory = ctx.factory
+
+        current = plan
+        if req.site is not None and current.props.site != req.site:
+            shipped = self._try(lambda: factory.ship(current, req.site))
+            if shipped is None:
+                return []
+            current = shipped
+        if req.order is not None and not order_satisfies(current.props.order, req.order):
+            if not frozenset(req.order) <= current.props.cols:
+                return []
+            sorted_plan = self._try(lambda c=current: factory.sort(c, req.order))
+            if sorted_plan is None:
+                return []
+            current = sorted_plan
+
+        # Reuse an existing materialization when the plan is already a
+        # stored temp access; otherwise STORE it.
+        if current.op == ACCESS and current.flavor == "temp" and current.inputs:
+            stored = current.inputs[0]
+        elif current.props.stored_as is not None and current.inputs:
+            stored = current
+        else:
+            stored = self._try(lambda c=current: factory.store(c))
+            if stored is None:
+                return []
+
+        results: list[PlanNode] = []
+        if req.paths is not None:
+            key = tuple(req.paths)
+            if not frozenset(key) <= stored.props.cols:
+                return []
+            if stored.props.has_path_on(key):
+                indexed = stored
+            else:
+                indexed = self._try(lambda s=stored: factory.buildix(s, key))
+                if indexed is None:
+                    return []
+            wanted = tuple(c.column for c in key)
+            path = next(
+                p for p in indexed.props.paths if p.provides_order_prefix(wanted[:1])
+            )
+            probe = self._try(
+                lambda ix=indexed: factory.access_temp_index(ix, path, preds=sideways)
+            )
+            if probe is not None:
+                ctx.stats.veneers_added += 1
+                results.append(probe)
+        else:
+            scan = self._try(lambda s=stored: factory.access_temp(s, preds=sideways))
+            if scan is not None:
+                ctx.stats.veneers_added += 1
+                results.append(scan)
+        return results

@@ -1,0 +1,114 @@
+"""The hashed plan table.
+
+Section 4.4: "In Starburst, a data structure hashed on the tables and
+predicates facilitates finding all such plans, if they exist."  Keys are
+``(frozenset of tables, frozenset of applied predicates)``; values are
+the surviving (non-dominated) alternative plans for that relational
+equivalence class.
+
+The table is instrumented for experiment E9 ("alternative plans may
+incorporate the same plan fragment, whose alternatives need be evaluated
+only once"): every lookup, hit, miss, and insertion is counted, and
+:meth:`expansions_for` reports how often each equivalence class was
+*built* versus *reused*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.cost.model import CostModel
+from repro.plans.plan import PlanNode
+from repro.plans.sap import SAP
+from repro.query.predicates import Predicate
+
+PlanKey = tuple[frozenset[str], frozenset[Predicate]]
+
+
+def plan_key(tables: Iterable[str], preds: Iterable[Predicate]) -> PlanKey:
+    return (frozenset(tables), frozenset(preds))
+
+
+@dataclass
+class PlanTableStats:
+    """Instrumentation counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    plans_inserted: int = 0
+    plans_pruned: int = 0
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanTable:
+    """Alternative plans per (TABLES, PREDS) equivalence class."""
+
+    def __init__(self, model: CostModel, prune: bool = True,
+                 interesting: frozenset | None = None):
+        self._model = model
+        self._prune = prune
+        self._interesting = interesting
+        self._entries: dict[PlanKey, SAP] = {}
+        self._build_counts: dict[PlanKey, int] = {}
+        self.stats = PlanTableStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, tables: Iterable[str], preds: Iterable[Predicate]
+    ) -> SAP | None:
+        key = plan_key(tables, preds)
+        self.stats.lookups += 1
+        sap = self._entries.get(key)
+        if sap is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return sap
+
+    def insert(
+        self,
+        tables: Iterable[str],
+        preds: Iterable[Predicate],
+        plans: Iterable[PlanNode],
+    ) -> SAP:
+        """Merge plans into an equivalence class, pruning dominated ones.
+        Returns the surviving SAP for the class."""
+        key = plan_key(tables, preds)
+        existing = self._entries.get(key)
+        merged = SAP(plans) if existing is None else existing.union(SAP(plans))
+        before = len(merged)
+        if self._prune:
+            merged = merged.pruned(self._model, self._interesting)
+        self.stats.inserts += 1
+        self.stats.plans_inserted += before
+        self.stats.plans_pruned += before - len(merged)
+        self._entries[key] = merged
+        self._build_counts[key] = self._build_counts.get(key, 0) + 1
+        return merged
+
+    def keys(self) -> tuple[PlanKey, ...]:
+        return tuple(self._entries)
+
+    def all_plans(self) -> tuple[PlanNode, ...]:
+        plans: list[PlanNode] = []
+        for sap in self._entries.values():
+            plans.extend(sap)
+        return tuple(plans)
+
+    def expansions_for(self, tables: Iterable[str]) -> int:
+        """How many times classes over exactly these tables were built
+        (E9: should be 1 per class when memoization works)."""
+        wanted = frozenset(tables)
+        return sum(
+            count for (tbls, _), count in self._build_counts.items() if tbls == wanted
+        )
+
+    def build_counts(self) -> dict[PlanKey, int]:
+        return dict(self._build_counts)

@@ -1,0 +1,56 @@
+"""Shared I/O accounting for storage structures.
+
+Every heap page touched and every B-tree node visited is charged here.
+The executor snapshots these counters around plan execution to report the
+actual I/O performed — the "actual" side of experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOAccounting:
+    """Mutable counters of page-level I/O."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    index_reads: int = 0
+    index_writes: int = 0
+
+    def read_pages(self, n: int = 1) -> None:
+        self.page_reads += n
+
+    def write_pages(self, n: int = 1) -> None:
+        self.page_writes += n
+
+    def read_index(self, n: int = 1) -> None:
+        self.index_reads += n
+
+    def write_index(self, n: int = 1) -> None:
+        self.index_writes += n
+
+    def snapshot(self) -> tuple[int, int, int, int]:
+        return (self.page_reads, self.page_writes, self.index_reads, self.index_writes)
+
+    def since(self, snap: tuple[int, int, int, int]) -> "IOAccounting":
+        """A new accounting holding the deltas since ``snap``."""
+        return IOAccounting(
+            page_reads=self.page_reads - snap[0],
+            page_writes=self.page_writes - snap[1],
+            index_reads=self.index_reads - snap[2],
+            index_writes=self.index_writes - snap[3],
+        )
+
+    @property
+    def total_reads(self) -> int:
+        return self.page_reads + self.index_reads
+
+    @property
+    def total_writes(self) -> int:
+        return self.page_writes + self.index_writes
+
+    @property
+    def total(self) -> int:
+        return self.total_reads + self.total_writes

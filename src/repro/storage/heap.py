@@ -1,0 +1,92 @@
+"""A page-structured heap file.
+
+Rows are Python tuples stored in fixed-capacity pages.  A row identifier
+(:class:`RID`) is a ``(page_number, slot)`` pair — the paper's *tuple
+identifier (TID)* that the ``GET`` LOLEPOP uses to fetch additional
+columns from the stored table (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, NamedTuple
+
+from repro.errors import StorageError
+from repro.storage.accounting import IOAccounting
+
+Row = tuple[Any, ...]
+
+
+class RID(NamedTuple):
+    """Row identifier: page number and slot within the page."""
+
+    page: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"@{self.page}.{self.slot}"
+
+
+class HeapFile:
+    """A physically-sequential heap of tuples.
+
+    ``rows_per_page`` controls page granularity; scans charge one page
+    read per page touched, point fetches charge one page read.
+    """
+
+    def __init__(self, io: IOAccounting, rows_per_page: int = 64):
+        if rows_per_page < 1:
+            raise StorageError("rows_per_page must be >= 1")
+        self._io = io
+        self._rows_per_page = rows_per_page
+        self._pages: list[list[Row | None]] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def insert(self, row: Row) -> RID:
+        """Append a row, returning its RID.  Charges a page write when a
+        new page is allocated (bulk loads cost one write per page)."""
+        if not self._pages or len(self._pages[-1]) >= self._rows_per_page:
+            self._pages.append([])
+            self._io.write_pages(1)
+        page_no = len(self._pages) - 1
+        page = self._pages[page_no]
+        page.append(row)
+        self._count += 1
+        return RID(page_no, len(page) - 1)
+
+    def fetch(self, rid: RID) -> Row:
+        """Fetch one row by RID (one page read)."""
+        try:
+            row = self._pages[rid.page][rid.slot]
+        except IndexError:
+            raise StorageError(f"bad RID {rid}") from None
+        if row is None:
+            raise StorageError(f"RID {rid} was deleted")
+        self._io.read_pages(1)
+        return row
+
+    def delete(self, rid: RID) -> None:
+        """Tombstone a row (slot stays occupied)."""
+        try:
+            if self._pages[rid.page][rid.slot] is None:
+                raise StorageError(f"RID {rid} already deleted")
+            self._pages[rid.page][rid.slot] = None
+        except IndexError:
+            raise StorageError(f"bad RID {rid}") from None
+        self._count -= 1
+
+    def scan(self) -> Iterator[tuple[RID, Row]]:
+        """Physically-sequential scan.  Charges one read per page as the
+        scan enters it; a partially-consumed scan charges only the pages
+        actually visited."""
+        for page_no, page in enumerate(self._pages):
+            self._io.read_pages(1)
+            for slot, row in enumerate(page):
+                if row is not None:
+                    yield RID(page_no, slot), row

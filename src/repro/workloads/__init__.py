@@ -1,0 +1,36 @@
+"""Workloads: the paper's EMP/DEPT scenario and synthetic generators.
+
+:mod:`repro.workloads.paper` rebuilds the catalog behind Figures 1 and 3
+(DEPT with manager names, EMP with an index on DNO, optionally spread
+over the N.Y. / L.A. sites of Figure 3).  :mod:`repro.workloads.generator`
+produces parameterized synthetic schemas, data and queries with chain,
+star and clique join graphs for the benchmark sweeps.
+"""
+
+from repro.workloads.generator import (
+    Workload,
+    WorkloadSpec,
+    chain_workload,
+    clique_workload,
+    star_workload,
+    synthesize,
+)
+from repro.workloads.paper import (
+    figure1_query,
+    paper_catalog,
+    paper_database,
+    paper_three_table_query,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "chain_workload",
+    "clique_workload",
+    "figure1_query",
+    "paper_catalog",
+    "paper_database",
+    "paper_three_table_query",
+    "star_workload",
+    "synthesize",
+]

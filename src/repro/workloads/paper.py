@@ -1,0 +1,145 @@
+"""The paper's running example: DEPT and EMP (Figures 1 and 3).
+
+Figure 1 plans the query
+
+    SELECT NAME, ADDRESS, MGR
+    FROM DEPT, EMP
+    WHERE DEPT.DNO = EMP.DNO AND MGR = 'Haas'
+
+over a catalog with a stored table DEPT, a stored table EMP, and an index
+on EMP.DNO.  Figure 3 places DEPT at site N.Y. with the query running at
+L.A.  Data is generated deterministically so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.catalog import Catalog, make_columns
+from repro.catalog.schema import AccessPath, TableDef
+from repro.query.parser import parse_query
+from repro.query.query import QueryBlock
+from repro.storage.table import Database
+
+#: Manager surnames; 'Haas' is the one the paper's predicate selects
+#: (Laura Haas is thanked in the acknowledgements).
+_MANAGERS = (
+    "Haas", "Lindsay", "Mohan", "Pirahesh", "Selinger", "Wilms",
+    "Freytag", "Ono", "McPherson", "Traiger",
+)
+
+_FIRST = ("Guy", "Laura", "Bruce", "Hamid", "Pat", "Paul", "Kiyoshi", "Irv")
+_LAST = ("Lohman", "Haas", "Lindsay", "Pirahesh", "Selinger", "Wilms", "Ono", "Traiger")
+_CITIES = ("San Jose", "Almaden", "Santa Cruz", "Saratoga", "Campbell", "Los Gatos")
+
+
+def paper_catalog(
+    distributed: bool = False,
+    dept_rows: int = 50,
+    emp_rows: int = 2000,
+) -> Catalog:
+    """The DEPT/EMP catalog.  With ``distributed=True``, DEPT is stored at
+    N.Y. and EMP at L.A., with the query site at L.A. (Figure 3)."""
+    query_site = "L.A." if distributed else "local"
+    catalog = Catalog(query_site=query_site)
+    if distributed:
+        catalog.add_site("N.Y.")
+    catalog.add_table(
+        TableDef(
+            "DEPT",
+            make_columns("DNO", ("MGR", "str"), ("BUDGET", "int")),
+            site="N.Y." if distributed else query_site,
+        )
+    )
+    catalog.add_table(
+        TableDef(
+            "EMP",
+            make_columns(
+                "ENO", "DNO", ("NAME", "str"), ("ADDRESS", "str"), ("SALARY", "int")
+            ),
+            site=query_site,
+        )
+    )
+    catalog.add_index(AccessPath("EMP_DNO", "EMP", ("DNO",)))
+    # Remember the intended sizes for data generation.
+    catalog._paper_sizes = (dept_rows, emp_rows)  # type: ignore[attr-defined]
+    return catalog
+
+
+def paper_database(catalog: Catalog, seed: int = 1988) -> Database:
+    """Create and load deterministic DEPT/EMP data, then collect stats."""
+    dept_rows, emp_rows = getattr(catalog, "_paper_sizes", (50, 2000))
+    rng = random.Random(seed)
+    database = Database(catalog)
+    database.create_storage("DEPT")
+    database.create_storage("EMP")
+    database.load(
+        "DEPT",
+        (
+            {
+                "DNO": dno,
+                "MGR": _MANAGERS[dno % len(_MANAGERS)],
+                "BUDGET": rng.randrange(100, 10_000),
+            }
+            for dno in range(dept_rows)
+        ),
+    )
+    database.load(
+        "EMP",
+        (
+            {
+                "ENO": eno,
+                "DNO": rng.randrange(dept_rows),
+                "NAME": f"{rng.choice(_FIRST)} {rng.choice(_LAST)}",
+                "ADDRESS": f"{rng.randrange(1, 999)} {rng.choice(_CITIES)}",
+                "SALARY": rng.randrange(30_000, 150_000),
+            }
+            for eno in range(emp_rows)
+        ),
+    )
+    database.analyze_all()
+    return database
+
+
+def figure1_query(catalog: Catalog) -> QueryBlock:
+    """The query whose plan Figure 1 shows."""
+    return parse_query(
+        "SELECT NAME, ADDRESS, MGR FROM DEPT, EMP "
+        "WHERE DEPT.DNO = EMP.DNO AND MGR = 'Haas'",
+        catalog,
+    )
+
+
+def paper_three_table_query(catalog: Catalog) -> QueryBlock:
+    """A three-table variant (adds PROJ) used by the join-order tests;
+    requires :func:`with_proj` to have extended the catalog."""
+    return parse_query(
+        "SELECT NAME, TITLE FROM DEPT, EMP, PROJ "
+        "WHERE DEPT.DNO = EMP.DNO AND EMP.ENO = PROJ.ENO AND MGR = 'Haas'",
+        catalog,
+    )
+
+
+def with_proj(
+    catalog: Catalog, database: Database, proj_rows: int = 800, seed: int = 1989
+) -> None:
+    """Extend the paper catalog/database with a PROJ table."""
+    emp_rows = len(database.table("EMP"))
+    catalog.add_table(
+        TableDef("PROJ", make_columns("PNO", "ENO", ("TITLE", "str")), site=catalog.query_site)
+    )
+    catalog.add_index(AccessPath("PROJ_ENO", "PROJ", ("ENO",)))
+    rng = random.Random(seed)
+    database.create_storage("PROJ")
+    database.load(
+        "PROJ",
+        (
+            {
+                "PNO": pno,
+                "ENO": rng.randrange(max(1, emp_rows)),
+                "TITLE": f"project-{rng.randrange(100)}",
+            }
+            for pno in range(proj_rows)
+        ),
+    )
+    database.analyze("PROJ")

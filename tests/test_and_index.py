@@ -1,0 +1,156 @@
+"""Tests for the index AND-ing strategy (the second half of the paper's
+omitted "ANDing and ORing of multiple indexes"), built on the INTERSECT
+LOLEPOP over TID streams."""
+
+import pytest
+
+from repro.catalog import AccessPath, Catalog, TableDef
+from repro.catalog.catalog import make_columns
+from repro.config import OptimizerConfig
+from repro.errors import ReproError
+from repro.cost.propfuncs import PlanFactory
+from repro.executor import QueryExecutor, naive_evaluate
+from repro.optimizer import StarburstOptimizer
+from repro.plans.operators import GET, INTERSECT
+from repro.query.expressions import ColumnRef
+from repro.query.parser import parse_predicate, parse_query
+from repro.stars.builtin_rules import extended_rules
+from repro.stars.engine import StarEngine
+from repro.storage import Database
+
+A = ColumnRef("T", "A")
+B = ColumnRef("T", "B")
+
+
+@pytest.fixture()
+def env():
+    cat = Catalog()
+    rows = 4000
+    cat.add_table(TableDef("T", make_columns("A", "B", ("PAY", "str"))))
+    cat.add_index(AccessPath("T_A", "T", ("A",)))
+    cat.add_index(AccessPath("T_B", "T", ("B",)))
+    db = Database(cat)
+    db.create_storage("T")
+    # A cycles mod 40, B cycles mod 50: A=3 AND B=7 matches few rows.
+    db.load("T", [(i % 40, i % 50, f"p{i}") for i in range(rows)])
+    db.analyze("T")
+    return cat, db
+
+
+def and_plans(plans):
+    return [p for p in plans if any(n.op == INTERSECT for n in p.nodes())]
+
+
+def expand(cat, sql, and_index=True):
+    query = parse_query(sql, cat)
+    engine = StarEngine(
+        extended_rules(and_index=and_index),
+        cat,
+        query,
+        config=OptimizerConfig(prune=False),
+    )
+    sap = engine.expand(
+        "AccessRoot",
+        ("T", query.columns_for_table("T"), query.single_table_predicates("T")),
+    )
+    return sap, engine
+
+
+SQL = "SELECT PAY FROM T WHERE A = 3 AND B = 13"
+
+
+class TestIntersectOperator:
+    def test_keeps_matching_keys_only(self, env):
+        cat, db = env
+        factory = PlanFactory(cat)
+        pa = parse_predicate("T.A = 3", cat, ("T",))
+        pb = parse_predicate("T.B = 13", cat, ("T",))
+        left = factory.access_index("T", cat.path("T", "T_A"), preds={pa})
+        right = factory.access_index("T", cat.path("T", "T_B"), preds={pb})
+        tid = ColumnRef("T", "#TID")
+        plan = factory.intersect(left, right, (tid,))
+        rows, _ = QueryExecutor(db).run_plan(plan)
+        expected = sum(1 for i in range(4000) if i % 40 == 3 and i % 50 == 13)
+        assert len(rows) == expected
+        assert expected > 0
+
+    def test_preds_union(self, env):
+        cat, _ = env
+        factory = PlanFactory(cat)
+        pa = parse_predicate("T.A = 3", cat, ("T",))
+        pb = parse_predicate("T.B = 13", cat, ("T",))
+        left = factory.access_index("T", cat.path("T", "T_A"), preds={pa})
+        right = factory.access_index("T", cat.path("T", "T_B"), preds={pb})
+        plan = factory.intersect(left, right, (ColumnRef("T", "#TID"),))
+        assert plan.props.preds == {pa, pb}
+        assert plan.props.card < left.props.card
+
+    def test_key_must_be_common(self, env):
+        cat, _ = env
+        factory = PlanFactory(cat)
+        left = factory.access_base("T", {A}, set())
+        right = factory.access_base("T", {B}, set())
+        with pytest.raises(ReproError, match="key not in both"):
+            factory.intersect(left, right, (A,))
+
+
+class TestAndIndexRules:
+    def test_alternative_generated(self, env):
+        cat, _ = env
+        sap, _ = expand(cat, SQL)
+        plans = and_plans(sap)
+        assert plans
+        assert plans[0].op == GET
+
+    def test_absent_without_extension(self, env):
+        cat, _ = env
+        sap, _ = expand(cat, SQL, and_index=False)
+        assert not and_plans(sap)
+
+    def test_requires_two_indexed_columns(self, env):
+        cat, _ = env
+        sap, _ = expand(cat, "SELECT A FROM T WHERE A = 3 AND PAY = 'p1'")
+        assert not and_plans(sap)
+
+    def test_same_column_not_paired(self, env):
+        cat, _ = env
+        sap, _ = expand(cat, "SELECT PAY FROM T WHERE A = 3 AND A = 7")
+        assert not and_plans(sap)
+
+    def test_cheaper_than_single_index_when_both_selective(self, env):
+        cat, _ = env
+        sap, engine = expand(cat, SQL)
+        model = engine.ctx.model
+        and_cost = min(model.total(p.props.cost) for p in and_plans(sap))
+        single_index = [
+            p
+            for p in sap
+            if p.op == GET and p.inputs[0].op == "ACCESS"
+        ]
+        assert single_index
+        assert and_cost < min(model.total(p.props.cost) for p in single_index)
+
+
+class TestAndIndexExecution:
+    def test_answers_match_reference(self, env):
+        cat, db = env
+        query = parse_query(SQL, cat)
+        result = StarburstOptimizer(
+            cat, rules=extended_rules(and_index=True)
+        ).optimize(query)
+        executor = QueryExecutor(db)
+        reference = naive_evaluate(query, db).as_multiset()
+        for plan in result.alternatives:
+            assert executor.run(query, plan).as_multiset() == reference
+
+    def test_combined_with_or_index(self, env):
+        """Both index-combination strategies loaded at once."""
+        cat, db = env
+        rules = extended_rules(and_index=True, or_index=True)
+        query = parse_query(
+            "SELECT PAY FROM T WHERE (A = 1 OR B = 2) AND A = 1", cat
+        )
+        result = StarburstOptimizer(cat, rules=rules).optimize(query)
+        executor = QueryExecutor(db)
+        reference = naive_evaluate(query, db).as_multiset()
+        assert executor.run(query, result.best_plan).as_multiset() == reference

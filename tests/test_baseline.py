@@ -1,0 +1,115 @@
+"""Unit tests for the EXODUS-style transformational baseline."""
+
+import pytest
+
+from repro.baseline import TransformationalOptimizer
+from repro.baseline.logical import (
+    JOIN_TRANSFORMATIONS,
+    LogicalJoin,
+    LogicalScan,
+    TransformStats,
+    canonical,
+    closure,
+    initial_tree,
+    replace_subtree,
+    subtrees,
+)
+from repro.config import OptimizerConfig
+from repro.query.parser import parse_query
+from repro.workloads.generator import chain_workload
+
+
+class TestLogicalTrees:
+    def test_initial_is_left_deep(self, catalog, fig1_query):
+        tree = initial_tree(fig1_query)
+        assert canonical(tree) == "(DEPT ⋈ EMP)"
+
+    def test_subtrees_enumeration(self):
+        tree = LogicalJoin(LogicalJoin(LogicalScan("A"), LogicalScan("B")), LogicalScan("C"))
+        assert len(list(subtrees(tree))) == 5
+
+    def test_replace_subtree(self):
+        inner = LogicalJoin(LogicalScan("A"), LogicalScan("B"))
+        tree = LogicalJoin(inner, LogicalScan("C"))
+        swapped = replace_subtree(tree, inner, LogicalJoin(LogicalScan("B"), LogicalScan("A")))
+        assert canonical(swapped) == "((B ⋈ A) ⋈ C)"
+        assert canonical(tree) == "((A ⋈ B) ⋈ C)"  # original untouched
+
+    def test_rules_fire_where_applicable(self):
+        stats = TransformStats()
+        join = LogicalJoin(LogicalScan("A"), LogicalScan("B"))
+        results = {
+            rule.name: rule.try_apply(join, stats) for rule in JOIN_TRANSFORMATIONS
+        }
+        assert canonical(results["commute"]) == "(B ⋈ A)"
+        assert results["assoc_lr"] is None  # left child is a scan
+        assert stats.match_attempts == 3
+
+
+class TestClosure:
+    def test_two_tables_two_trees(self, catalog, fig1_query):
+        stats = TransformStats()
+        trees = closure(fig1_query, stats)
+        assert {canonical(t) for t in trees} == {"(DEPT ⋈ EMP)", "(EMP ⋈ DEPT)"}
+
+    def test_chain3_counts(self):
+        wl = chain_workload(3, rows=20, seed=1)
+        stats = TransformStats()
+        trees = closure(wl.query, stats)
+        # chain R0-R1-R2: orders without cartesian products:
+        # shapes ((xy)z): (01)2, (10)2, (12)0, (21)0 and mirrors = 8
+        assert len(trees) == 8
+        assert stats.match_attempts > 0
+        assert stats.condition_evaluations > 0
+
+    def test_cartesian_allowed_grows_space(self):
+        wl = chain_workload(3, rows=20, seed=1)
+        restricted = closure(wl.query, TransformStats(), allow_cartesian=False)
+        unrestricted = closure(wl.query, TransformStats(), allow_cartesian=True)
+        assert len(unrestricted) > len(restricted)
+        # All labelled binary trees over 3 leaves: 3! * Catalan(2) = 12.
+        assert len(unrestricted) == 12
+
+    def test_work_grows_superlinearly(self):
+        works = []
+        for n in (2, 3, 4):
+            wl = chain_workload(n, rows=10, seed=1)
+            stats = TransformStats()
+            closure(wl.query, stats)
+            works.append(stats.match_attempts + stats.condition_evaluations)
+        assert works[2] > 4 * works[1] > 8 * works[0]
+
+
+class TestBaselineOptimizer:
+    def test_matches_star_best_cost(self, catalog, fig1_query):
+        from repro.optimizer import StarburstOptimizer
+        from repro.stars.builtin_rules import extended_rules
+
+        star = StarburstOptimizer(catalog, rules=extended_rules()).optimize(fig1_query)
+        base = TransformationalOptimizer(catalog).optimize(fig1_query)
+        assert base.best_cost == pytest.approx(star.best_cost, rel=0.01)
+
+    def test_plan_covers_all_tables_and_preds(self, catalog, fig1_query):
+        base = TransformationalOptimizer(catalog).optimize(fig1_query)
+        assert base.best_plan.props.tables == {"DEPT", "EMP"}
+        assert set(fig1_query.predicates) <= set(base.best_plan.props.preds)
+
+    def test_order_by_enforced(self, catalog):
+        query = parse_query("SELECT NAME FROM EMP ORDER BY NAME", catalog)
+        base = TransformationalOptimizer(catalog).optimize(query)
+        order = [c.column for c in base.best_plan.props.order]
+        assert order[:1] == ["NAME"]
+
+    def test_distributed_result_site(self, distributed_catalog):
+        query = parse_query("SELECT MGR FROM DEPT", distributed_catalog)
+        base = TransformationalOptimizer(distributed_catalog).optimize(query)
+        assert base.best_plan.props.site == "L.A."
+
+    def test_stats_reported(self, catalog, fig1_query):
+        base = TransformationalOptimizer(catalog).optimize(fig1_query)
+        stats = base.stats
+        assert stats.match_attempts > 0
+        assert stats.implementation_applications > 0
+        assert stats.physical_plans_built > 0
+        assert stats.total_rule_work >= stats.match_attempts
+        assert "implementation_applications" in stats.as_dict()

@@ -1,0 +1,198 @@
+"""Unit and property-based tests for the B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage import BTree, IOAccounting
+
+
+def make_tree(order=4, unique=False):
+    return BTree(IOAccounting(), order=order, unique=unique)
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = make_tree()
+        tree.insert((5,), "a")
+        tree.insert((3,), "b")
+        assert tree.search((5,)) == ["a"]
+        assert tree.search((3,)) == ["b"]
+        assert tree.search((9,)) == []
+
+    def test_len_counts_entries(self):
+        tree = make_tree()
+        for i in range(10):
+            tree.insert((i,), i)
+        assert len(tree) == 10
+
+    def test_duplicates_aggregate(self):
+        tree = make_tree()
+        for i in range(6):
+            tree.insert((1,), i)
+        assert sorted(tree.search((1,))) == list(range(6))
+
+    def test_unique_rejects_duplicates(self):
+        tree = make_tree(unique=True)
+        tree.insert((1,), "a")
+        with pytest.raises(StorageError, match="duplicate"):
+            tree.insert((1,), "b")
+
+    def test_null_key_component_rejected(self):
+        tree = make_tree()
+        with pytest.raises(StorageError, match="NULL"):
+            tree.insert((1, None), "a")
+
+    def test_order_validated(self):
+        with pytest.raises(StorageError):
+            BTree(IOAccounting(), order=2)
+
+    def test_height_grows(self):
+        tree = make_tree(order=3)
+        assert tree.height == 1
+        for i in range(50):
+            tree.insert((i,), i)
+        assert tree.height >= 3
+
+    def test_scan_all_sorted(self):
+        tree = make_tree(order=4)
+        keys = list(range(100))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert((key,), key)
+        assert [k for k, _ in tree.scan_all()] == [(i,) for i in range(100)]
+
+
+class TestRangeScans:
+    @pytest.fixture()
+    def tree(self):
+        tree = make_tree(order=4)
+        for i in range(0, 100, 2):  # even keys 0..98
+            tree.insert((i,), i)
+        return tree
+
+    def test_inclusive_range(self, tree):
+        got = [v for _, v in tree.scan_range(lo=(10,), hi=(20,))]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self, tree):
+        got = [
+            v
+            for _, v in tree.scan_range(
+                lo=(10,), hi=(20,), lo_inclusive=False, hi_inclusive=False
+            )
+        ]
+        assert got == [12, 14, 16, 18]
+
+    def test_open_ended_low(self, tree):
+        got = [v for _, v in tree.scan_range(hi=(6,))]
+        assert got == [0, 2, 4, 6]
+
+    def test_open_ended_high(self, tree):
+        got = [v for _, v in tree.scan_range(lo=(94,))]
+        assert got == [94, 96, 98]
+
+    def test_absent_bounds_full_scan(self, tree):
+        assert len(list(tree.scan_range())) == 50
+
+    def test_bounds_between_keys(self, tree):
+        got = [v for _, v in tree.scan_range(lo=(9,), hi=(15,))]
+        assert got == [10, 12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.scan_range(lo=(13,), hi=(13,))) == []
+
+
+class TestCompositeKeys:
+    def test_prefix_scan(self):
+        tree = make_tree(order=4)
+        for dno in range(5):
+            for name in ("a", "b", "c"):
+                tree.insert((dno, name), f"{dno}{name}")
+        got = [v for _, v in tree.scan_prefix((2,))]
+        assert got == ["2a", "2b", "2c"]
+
+    def test_full_key_search(self):
+        tree = make_tree()
+        tree.insert((1, "x"), "v1")
+        tree.insert((1, "y"), "v2")
+        assert tree.search((1, "x")) == ["v1"]
+
+    def test_prefix_ordering_across_leaves(self):
+        tree = make_tree(order=3)
+        for i in range(40):
+            tree.insert((i % 4, i), i)
+        got = [v for _, v in tree.scan_prefix((1,))]
+        assert got == sorted(got)
+        assert all(v % 4 == 1 for v in got)
+
+
+class TestAccounting:
+    def test_reads_charged_on_descend(self):
+        io = IOAccounting()
+        tree = BTree(io, order=3)
+        for i in range(30):
+            tree.insert((i,), i)
+        before = io.index_reads
+        tree.search((17,))
+        assert io.index_reads - before >= tree.height
+
+    def test_writes_charged_on_insert(self):
+        io = IOAccounting()
+        tree = BTree(io, order=3)
+        tree.insert((1,), 1)
+        assert io.index_writes >= 1
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000)))
+def test_scan_all_matches_sorted_multiset(keys):
+    tree = make_tree(order=4)
+    for key in keys:
+        tree.insert((key,), key)
+    got = [v for _, v in tree.scan_all()]
+    assert got == sorted(keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), min_size=1),
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=200),
+)
+def test_range_scan_matches_filter(keys, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree = make_tree(order=5)
+    for key in keys:
+        tree.insert((key,), key)
+    got = [v for _, v in tree.scan_range(lo=(lo,), hi=(hi,))]
+    assert got == sorted(k for k in keys if lo <= k <= hi)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1))
+def test_composite_prefix_scan_matches_filter(pairs):
+    tree = make_tree(order=4)
+    for pair in pairs:
+        tree.insert(pair, pair)
+    prefix = pairs[0][0]
+    got = [v for _, v in tree.scan_prefix((prefix,))]
+    assert got == sorted(p for p in pairs if p[0] == prefix)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 100), min_size=1), st.integers(3, 16))
+def test_search_finds_all_duplicates(keys, order):
+    tree = BTree(IOAccounting(), order=order)
+    for index, key in enumerate(keys):
+        tree.insert((key,), index)
+    target = keys[0]
+    expected = sorted(i for i, k in enumerate(keys) if k == target)
+    assert sorted(tree.search((target,))) == expected

@@ -1,0 +1,238 @@
+"""Behavioral tests of the paper's rule set (section 4), expanded through
+the engine on controlled inputs."""
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.plans.operators import ACCESS, BUILDIX, GET, JOIN, SHIP, SORT, STORE
+from repro.plans.sap import Stream
+from repro.query.parser import parse_query
+from repro.stars.builtin_rules import (
+    BASE_RULES,
+    DYNAMIC_INDEX_RULES,
+    FORCED_PROJECTION_RULES,
+    HASH_JOIN_RULES,
+    ORDERED_STREAM_RULES,
+    default_rules,
+    extended_rules,
+)
+from repro.stars.dsl import parse_rules
+from repro.stars.engine import StarEngine
+from repro.query.expressions import ColumnRef
+
+DNO = ColumnRef("DEPT", "DNO")
+E_DNO = ColumnRef("EMP", "DNO")
+
+
+def expand_join(catalog, rules=None, sql=None):
+    sql = sql or (
+        "SELECT NAME, ADDRESS, MGR FROM DEPT, EMP "
+        "WHERE DEPT.DNO = EMP.DNO AND MGR = 'Haas'"
+    )
+    query = parse_query(sql, catalog)
+    engine = StarEngine(
+        rules or default_rules(), catalog, query, config=OptimizerConfig(prune=False)
+    )
+    jp = query.eligible_predicates(frozenset({"DEPT"}), frozenset({"EMP"}))
+    sap = engine.expand(
+        "JoinRoot", (Stream(frozenset({"DEPT"})), Stream(frozenset({"EMP"})), jp)
+    )
+    return sap, engine
+
+
+def flavors(sap):
+    return {p.flavor for p in sap if p.op == JOIN}
+
+
+class TestJoinRoot:
+    def test_both_permutations_generated(self, catalog):
+        sap, _ = expand_join(catalog)
+        outers = {next(iter(p.inputs[0].props.tables & {"DEPT", "EMP"})) for p in sap}
+        # At least one plan with DEPT outer and one with EMP outer... the
+        # outer side of each JOIN covers one of the two tables.
+        outer_tables = {frozenset(p.inputs[0].props.tables) for p in sap}
+        assert frozenset({"DEPT"}) in outer_tables
+        assert frozenset({"EMP"}) in outer_tables
+
+    def test_base_repertoire_has_nl_and_mg(self, catalog):
+        sap, _ = expand_join(catalog)
+        assert flavors(sap) == {"NL", "MG"}
+
+    def test_no_sortable_preds_suppresses_merge(self, catalog):
+        sql = (
+            "SELECT NAME, MGR FROM DEPT, EMP "
+            "WHERE DEPT.DNO < EMP.DNO"  # inequality: not sortable (default)
+        )
+        sap, _ = expand_join(catalog, sql=sql)
+        assert flavors(sap) == {"NL"}
+
+    def test_local_query_skips_remote_join(self, catalog):
+        sap, engine = expand_join(catalog)
+        assert all(not any(n.op == SHIP for n in p.nodes()) for p in sap)
+
+    def test_distributed_query_generates_site_alternatives(self, distributed_catalog):
+        sap, _ = expand_join(distributed_catalog)
+        sites = {p.props.site for p in sap}
+        assert sites == {"N.Y.", "L.A."}
+
+    def test_figure1_plan_among_alternatives(self, catalog):
+        """The exact Figure 1 shape: MG join, DEPT sorted via scan, EMP
+        via index + GET."""
+        sap, _ = expand_join(catalog)
+        for plan in sap:
+            if plan.flavor != "MG":
+                continue
+            outer, inner = plan.inputs
+            if outer.props.tables != {"DEPT"}:
+                continue
+            outer_ops = [n.op for n in outer.nodes()]
+            inner_ops = [n.op for n in inner.nodes()]
+            if outer_ops == [SORT, ACCESS] and inner_ops == [GET, ACCESS]:
+                inner_access = list(inner.nodes())[-1]
+                assert inner_access.flavor == "index"
+                return
+        pytest.fail("Figure 1 plan not generated")
+
+
+class TestSitedJoin:
+    def test_composite_inner_forced_to_temp(self, catalog):
+        """Condition C1 first disjunct: |T2| > 1 forces a temp."""
+        sql = (
+            "SELECT NAME FROM DEPT, EMP, PROJ0 "
+            "WHERE DEPT.DNO = EMP.DNO AND EMP.ENO = PROJ0.ENO"
+        )
+        from repro.catalog import TableDef, TableStats
+        from repro.catalog.catalog import make_columns
+
+        catalog.add_table(
+            TableDef("PROJ0", make_columns("PNO", "ENO")), TableStats(card=500)
+        )
+        query = parse_query(sql, catalog)
+        engine = StarEngine(default_rules(), catalog, query)
+        # Build the composite {DEPT, EMP} first.
+        jp1 = query.eligible_predicates(frozenset({"DEPT"}), frozenset({"EMP"}))
+        composite = engine.expand(
+            "JoinRoot", (Stream(frozenset({"DEPT"})), Stream(frozenset({"EMP"})), jp1)
+        )
+        engine.plan_table.insert(
+            frozenset({"DEPT", "EMP"}), jp1, composite
+        )
+        jp2 = query.eligible_predicates(
+            frozenset({"PROJ0"}), frozenset({"DEPT", "EMP"})
+        )
+        sap = engine.expand(
+            "JoinRoot",
+            (Stream(frozenset({"PROJ0"})), Stream(frozenset({"DEPT", "EMP"})), jp2),
+        )
+        for plan in sap:
+            if plan.op != JOIN:
+                continue
+            inner = plan.inputs[1]
+            if len(inner.props.tables) > 1:
+                assert inner.props.temp, "composite inner was not materialized"
+
+    def test_required_remote_site_forces_temp(self, distributed_catalog):
+        """Condition C1 second disjunct: site mismatch forces a temp."""
+        sap, _ = expand_join(distributed_catalog)
+        # Plans joining at L.A. with DEPT (stored at N.Y.) as the inner
+        # must materialize the shipped DEPT stream.
+        found = False
+        for plan in sap:
+            if plan.op != JOIN:
+                continue
+            inner = plan.inputs[1]
+            if inner.props.tables == {"DEPT"} and inner.props.site == "L.A.":
+                assert inner.props.temp
+                found = True
+        assert found
+
+
+class TestSection45Extensions:
+    def test_hash_join_added_as_data(self, catalog):
+        rules = default_rules()
+        parse_rules(HASH_JOIN_RULES, base=rules)
+        sap, _ = expand_join(catalog, rules=rules)
+        assert "HA" in flavors(sap)
+
+    def test_hash_join_condition(self, catalog):
+        # Inequality join: no hashable predicates, no HA alternative.
+        rules = default_rules()
+        parse_rules(HASH_JOIN_RULES, base=rules)
+        sap, _ = expand_join(
+            catalog,
+            rules=rules,
+            sql="SELECT NAME, MGR FROM DEPT, EMP WHERE DEPT.DNO < EMP.DNO",
+        )
+        assert "HA" not in flavors(sap)
+
+    def test_hash_join_keeps_hashable_as_residual(self, catalog):
+        """4.5.1: all multi-table predicates stay residual (collisions)."""
+        rules = default_rules()
+        parse_rules(HASH_JOIN_RULES, base=rules)
+        sap, _ = expand_join(catalog, rules=rules)
+        ha_plans = [p for p in sap if p.flavor == "HA"]
+        for plan in ha_plans:
+            assert plan.param("join_preds") <= plan.param("residual_preds")
+
+    def test_forced_projection_materializes_inner(self, catalog):
+        rules = default_rules()
+        parse_rules(FORCED_PROJECTION_RULES, base=rules)
+        sap, _ = expand_join(catalog, rules=rules)
+        assert any(
+            p.flavor == "NL"
+            and any(n.op == STORE for n in p.inputs[1].nodes())
+            for p in sap
+        )
+
+    def test_dynamic_index_builds_index(self, catalog):
+        rules = default_rules()
+        parse_rules(DYNAMIC_INDEX_RULES, base=rules)
+        sap, _ = expand_join(catalog, rules=rules)
+        assert any(
+            any(n.op == BUILDIX for n in p.nodes()) for p in sap
+        )
+
+    def test_dynamic_index_condition_needs_indexable_preds(self, catalog):
+        rules = default_rules()
+        parse_rules(DYNAMIC_INDEX_RULES, base=rules)
+        # OR-predicate only: no join predicates at all, hence no XP.
+        sql = (
+            "SELECT NAME, MGR FROM DEPT, EMP "
+            "WHERE DEPT.DNO = EMP.DNO OR DEPT.DNO = EMP.ENO"
+        )
+        sap, _ = expand_join(catalog, rules=rules, sql=sql)
+        assert not any(any(n.op == BUILDIX for n in p.nodes()) for p in sap)
+
+    def test_extended_rules_toggle(self):
+        rules = extended_rules(hash_join=False, forced_projection=False, dynamic_index=False)
+        assert len(rules.get("JMeth").alternatives) == 2
+        rules = extended_rules()
+        assert len(rules.get("JMeth").alternatives) == 5
+
+
+class TestOrderedStreamExample:
+    """The section 2.1 OrderedStream STAR, loaded as extra rule data."""
+
+    def test_both_definitions_when_index_matches(self, catalog):
+        rules = parse_rules(BASE_RULES + ORDERED_STREAM_RULES)
+        query = parse_query("SELECT NAME FROM EMP", catalog)
+        engine = StarEngine(rules, catalog, query)
+        sap = engine.expand(
+            "OrderedStream",
+            ("EMP", frozenset({E_DNO, ColumnRef("EMP", "NAME")}), frozenset(), (E_DNO,)),
+        )
+        # Both alternatives: SORT(ACCESS(...)) and GET(ACCESS(index)).
+        shapes = {tuple(n.op for n in p.nodes()) for p in sap}
+        assert (SORT, ACCESS) in shapes
+        assert (GET, ACCESS) in shapes
+
+    def test_sort_only_when_no_index(self, catalog):
+        rules = parse_rules(BASE_RULES + ORDERED_STREAM_RULES)
+        query = parse_query("SELECT MGR FROM DEPT", catalog)
+        engine = StarEngine(rules, catalog, query)
+        sap = engine.expand(
+            "OrderedStream",
+            ("DEPT", frozenset({DNO, ColumnRef("DEPT", "MGR")}), frozenset(), (DNO,)),
+        )
+        shapes = {tuple(n.op for n in p.nodes()) for p in sap}
+        assert shapes == {(SORT, ACCESS)}

@@ -1,0 +1,153 @@
+"""Unit tests for the catalog and schema descriptors."""
+
+import pytest
+
+from repro.catalog import AccessPath, Catalog, ColumnDef, ColumnStats, SiteDef, TableDef, TableStats
+from repro.catalog.catalog import make_columns
+from repro.errors import CatalogError
+from repro.query.expressions import ColumnRef
+
+
+class TestSchemaDescriptors:
+    def test_column_widths(self):
+        assert ColumnDef("A", "int").byte_width == 4
+        assert ColumnDef("B", "float").byte_width == 8
+        assert ColumnDef("C", "str").byte_width == 16
+        assert ColumnDef("D", "str", width=40).byte_width == 40
+
+    def test_unknown_column_type_rejected(self):
+        with pytest.raises(CatalogError):
+            ColumnDef("A", "blob")
+
+    def test_table_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate"):
+            TableDef("T", make_columns("A", "A"))
+
+    def test_btree_table_needs_key(self):
+        with pytest.raises(CatalogError, match="needs a key"):
+            TableDef("T", make_columns("A"), storage="btree")
+
+    def test_btree_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableDef("T", make_columns("A"), storage="btree", key=("B",))
+
+    def test_row_width_subset(self):
+        t = TableDef("T", make_columns("A", ("B", "str")))
+        assert t.row_width() == 20
+        assert t.row_width(("A",)) == 4
+
+    def test_access_path_prefix_test(self):
+        path = AccessPath("ix", "T", ("A", "B", "C"))
+        assert path.provides_order_prefix(("A",))
+        assert path.provides_order_prefix(("A", "B"))
+        assert not path.provides_order_prefix(("B",))
+        assert not path.provides_order_prefix(("A", "C"))
+        assert not path.provides_order_prefix(("A", "B", "C", "D"))
+
+    def test_access_path_needs_columns(self):
+        with pytest.raises(CatalogError):
+            AccessPath("ix", "T", ())
+
+    def test_site_cpu_factor_positive(self):
+        with pytest.raises(CatalogError):
+            SiteDef("s", cpu_factor=0)
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="already defined"):
+            catalog.add_table(TableDef("EMP", make_columns("X")))
+
+    def test_unknown_table_lookup(self, catalog):
+        with pytest.raises(CatalogError, match="unknown table"):
+            catalog.table("NOPE")
+
+    def test_index_on_unknown_column_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="not in table"):
+            catalog.add_index(AccessPath("bad", "EMP", ("NOPE",)))
+
+    def test_duplicate_index_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="already defined"):
+            catalog.add_index(AccessPath("EMP_DNO", "EMP", ("DNO",)))
+
+    def test_drop_index(self, catalog):
+        catalog.drop_index("EMP", "EMP_DNO")
+        assert catalog.paths_for("EMP") == ()
+        with pytest.raises(CatalogError):
+            catalog.drop_index("EMP", "EMP_DNO")
+
+    def test_btree_table_gets_primary_path(self):
+        cat = Catalog()
+        cat.add_table(
+            TableDef("T", make_columns("A", "B"), storage="btree", key=("A",))
+        )
+        paths = cat.paths_for("T")
+        assert len(paths) == 1
+        assert paths[0].clustered and paths[0].unique
+        assert paths[0].columns == ("A",)
+
+    def test_adding_table_registers_site(self):
+        cat = Catalog(query_site="here")
+        cat.add_table(TableDef("T", make_columns("A"), site="there"))
+        assert {s.name for s in cat.sites()} == {"here", "there"}
+
+    def test_columns_of(self, catalog):
+        cols = catalog.columns_of(["DEPT"])
+        assert cols == {ColumnRef("DEPT", "DNO"), ColumnRef("DEPT", "MGR")}
+
+    def test_resolve_column(self, catalog):
+        assert catalog.resolve_column("MGR", ["DEPT", "EMP"]) == ColumnRef("DEPT", "MGR")
+
+    def test_default_column_stats_bounded_by_card(self):
+        cat = Catalog()
+        cat.add_table(TableDef("T", make_columns("A")), TableStats(card=3))
+        assert cat.column_stats("T", "A").n_distinct == 3
+
+    def test_page_count_from_width(self):
+        cat = Catalog(page_size=400)
+        cat.add_table(TableDef("T", make_columns("A")), TableStats(card=1000))
+        # 100 rows of 4 bytes per 400-byte page => 10 pages.
+        assert cat.page_count("T") == 10
+
+    def test_declared_pages_win(self):
+        cat = Catalog()
+        cat.add_table(TableDef("T", make_columns("A")), TableStats(card=10, pages=99))
+        assert cat.page_count("T") == 99
+
+
+class TestStatistics:
+    def test_value_fraction(self):
+        stats = ColumnStats(n_distinct=20)
+        assert stats.value_fraction("anything") == pytest.approx(0.05)
+
+    def test_range_fraction_interpolates(self):
+        stats = ColumnStats(n_distinct=100, low=0, high=100)
+        assert stats.range_fraction("<", 25) == pytest.approx(0.25)
+        assert stats.range_fraction(">", 25) == pytest.approx(0.75)
+
+    def test_range_fraction_clamped(self):
+        stats = ColumnStats(n_distinct=10, low=0, high=10)
+        assert stats.range_fraction("<", -5) == 0.0
+        assert stats.range_fraction("<", 50) == 1.0
+
+    def test_range_fraction_unknown_bounds(self):
+        assert ColumnStats(n_distinct=10).range_fraction("<", 5) is None
+
+    def test_range_fraction_non_numeric(self):
+        stats = ColumnStats(n_distinct=5, low="a", high="z")
+        assert stats.range_fraction("<", "m") is None
+
+    def test_n_distinct_floor(self):
+        assert ColumnStats(n_distinct=0).n_distinct == 1.0
+
+    def test_collect_column_stats(self):
+        from repro.catalog.statistics import collect_column_stats
+
+        stats = collect_column_stats([3, 1, None, 3, 7])
+        assert stats.n_distinct == 3
+        assert stats.low == 1 and stats.high == 7
+        assert stats.null_fraction == pytest.approx(0.2)
+
+    def test_table_stats_with_card(self):
+        stats = TableStats(card=10, pages=5).with_card(100)
+        assert stats.card == 100 and stats.pages is None

@@ -1,0 +1,82 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemo:
+    def test_demo_runs_and_verifies(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "differential check vs naive evaluator: PASS" in out
+        assert "JOIN" in out
+
+
+class TestOptimize:
+    def test_optimize_prints_plan(self, capsys):
+        assert main(["optimize", "SELECT MGR FROM DEPT"]) == 0
+        out = capsys.readouterr().out
+        assert "estimated cost" in out
+        assert "ACCESS" in out
+
+    def test_execute_prints_rows(self, capsys):
+        assert main(
+            ["optimize", "SELECT NAME FROM EMP WHERE ENO = 3", "--execute"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "executed:" in out
+
+    def test_trace_flag(self, capsys):
+        assert main(["optimize", "SELECT MGR FROM DEPT", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "AccessRoot" in out
+
+    def test_synthetic_workload(self, capsys):
+        assert main(
+            ["optimize", "SELECT R0.ID FROM R0 WHERE R0.VAL < 5", "--workload", "chain:2"]
+        ) == 0
+
+    def test_rule_set_selection(self, capsys):
+        assert main(
+            ["optimize", "SELECT MGR FROM DEPT", "--rules", "base"]
+        ) == 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "SELECT 1 FROM X", "--workload", "nope"])
+
+    def test_unknown_rules_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "SELECT MGR FROM DEPT", "--rules", "nope"])
+
+
+class TestRules:
+    def test_print_rules(self, capsys):
+        assert main(["rules", "--rules", "base"]) == 0
+        out = capsys.readouterr().out
+        assert "star JoinRoot" in out
+        assert "star JMeth" in out
+
+    def test_show_dsl(self, capsys):
+        assert main(["rules", "--show-dsl"]) == 0
+        out = capsys.readouterr().out
+        assert "// ===== Single-table access" in out
+
+    def test_validate_good_file(self, tmp_path, capsys):
+        rule_file = tmp_path / "good.star"
+        rule_file.write_text(
+            "extend JMeth { alt if nonempty(SP) -> "
+            "JOIN(MG, Glue(T1 [order = merge_cols(SP, T1)], {}), "
+            "Glue(T2 [order = merge_cols(SP, T2)], IP), SP, P - (IP | SP)); }"
+        )
+        assert main(["rules", "--validate", str(rule_file), "--extend-builtin"]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_validate_bad_file(self, tmp_path, capsys):
+        rule_file = tmp_path / "bad.star"
+        rule_file.write_text("star X(T) { alt -> Missing(T); }")
+        assert main(["rules", "--validate", str(rule_file)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "Missing" in out

@@ -1,0 +1,19 @@
+"""The CLI reports library errors cleanly (no tracebacks)."""
+
+from repro.__main__ import main
+
+
+def test_unknown_table_reports_error(capsys):
+    assert main(["optimize", "SELECT X FROM NOPE"]) == 2
+    err = capsys.readouterr().err
+    assert "error: unknown table" in err
+
+
+def test_disconnected_join_reports_error(capsys):
+    assert main(["optimize", "SELECT NAME, MGR FROM DEPT, EMP"]) == 2
+    assert "cartesian" in capsys.readouterr().err
+
+
+def test_parse_error_reported(capsys):
+    assert main(["optimize", "SELECT FROM"]) == 2
+    assert "error:" in capsys.readouterr().err

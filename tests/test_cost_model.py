@@ -1,0 +1,80 @@
+"""Unit tests for cost vectors and the cost model."""
+
+import pytest
+
+from repro.cost.model import Cost, CostModel, CostWeights, MESSAGE_SIZE
+from repro.query.expressions import ColumnRef
+from repro.storage.table import tid_column
+
+
+class TestCost:
+    def test_addition(self):
+        total = Cost(io=1, cpu=2) + Cost(io=3, msgs=4)
+        assert total == Cost(io=4, cpu=2, msgs=4)
+
+    def test_scaled(self):
+        assert Cost(io=2, cpu=4).scaled(0.5) == Cost(io=1, cpu=2)
+
+    def test_zero_constant(self):
+        assert Cost.ZERO + Cost(io=1) == Cost(io=1)
+
+    def test_str(self):
+        assert "io=1.0" in str(Cost(io=1))
+
+
+class TestWeights:
+    def test_linear_combination(self):
+        weights = CostWeights(w_io=2, w_cpu=1, w_msg=10, w_byte=0.5)
+        cost = Cost(io=3, cpu=4, msgs=1, bytes_sent=2)
+        assert weights.total(cost) == pytest.approx(2 * 3 + 4 + 10 + 1)
+
+    def test_defaults_make_io_dominant_over_cpu(self):
+        weights = CostWeights()
+        assert weights.total(Cost(io=1)) > weights.total(Cost(cpu=100))
+
+
+class TestCostModel:
+    def test_row_width_from_catalog(self, catalog):
+        model = CostModel(catalog)
+        width = model.row_width(frozenset({ColumnRef("DEPT", "DNO"), ColumnRef("DEPT", "MGR")}))
+        assert width == 4 + 16
+
+    def test_tid_width(self, catalog):
+        model = CostModel(catalog)
+        assert model.column_width(tid_column("DEPT")) == 8
+
+    def test_unknown_table_width_falls_back(self, catalog):
+        model = CostModel(catalog)
+        assert model.column_width(ColumnRef("#temp1", "X")) > 0
+
+    def test_stream_pages_floor_one(self, catalog):
+        model = CostModel(catalog)
+        assert model.stream_pages(1, frozenset({ColumnRef("DEPT", "DNO")})) == 1.0
+
+    def test_stream_pages_scale_with_card(self, catalog):
+        model = CostModel(catalog)
+        cols = frozenset({ColumnRef("DEPT", "MGR")})
+        assert model.stream_pages(10_000, cols) > model.stream_pages(100, cols)
+
+    def test_sort_cpu_superlinear(self):
+        assert CostModel.sort_cpu(1000) > 2 * CostModel.sort_cpu(500)
+
+    def test_sort_cpu_minimum(self):
+        assert CostModel.sort_cpu(0) >= 1.0
+
+    def test_btree_height_grows_logarithmically(self):
+        assert CostModel.btree_height(10) == 1
+        assert CostModel.btree_height(64**2) == 2
+        assert CostModel.btree_height(64**3) == 3
+
+    def test_ship_cost_counts_messages_and_bytes(self, catalog):
+        model = CostModel(catalog)
+        cols = frozenset({ColumnRef("DEPT", "MGR")})
+        cost = model.ship_cost(1000, cols)
+        assert cost.bytes_sent == 1000 * 16
+        assert cost.msgs == pytest.approx(1000 * 16 / MESSAGE_SIZE + 1, abs=1)
+
+    def test_table_pages_and_card(self, catalog):
+        model = CostModel(catalog)
+        assert model.table_card("EMP") == 10_000
+        assert model.table_pages("EMP") >= 1

@@ -1,0 +1,175 @@
+"""Differential integration tests: every optimizer plan must produce the
+same multiset of rows as the naive reference evaluator.
+
+This is the library's strongest end-to-end guarantee: rules, Glue,
+enumeration, property functions and run-time routines together preserve
+query semantics — over the paper's scenario, synthetic join-graph shapes,
+distributed placements, both optimizers, and randomized predicates.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baseline import TransformationalOptimizer
+from repro.config import OptimizerConfig
+from repro.executor import QueryExecutor, naive_evaluate
+from repro.optimizer import StarburstOptimizer
+from repro.query.parser import parse_query
+from repro.workloads import chain_workload, clique_workload, star_workload
+from repro.workloads.paper import figure1_query, with_proj
+
+
+def assert_all_plans_correct(catalog, database, query, config=None, baseline=True):
+    result = StarburstOptimizer(catalog, config=config).optimize(query)
+    executor = QueryExecutor(database)
+    reference = naive_evaluate(query, database).as_multiset()
+    assert result.alternatives
+    for plan in result.alternatives:
+        got = executor.run(query, plan).as_multiset()
+        assert got == reference, f"plan disagrees with reference:\n{plan}"
+    if baseline:
+        base = TransformationalOptimizer(catalog, config=config).optimize(query)
+        got = executor.run(query, base.best_plan).as_multiset()
+        assert got == reference, "baseline plan disagrees with reference"
+    return result
+
+
+class TestPaperScenario:
+    def test_figure1_query(self, paper_db):
+        cat, db = paper_db
+        assert_all_plans_correct(cat, db, figure1_query(cat))
+
+    def test_figure1_distributed(self, paper_db_distributed):
+        cat, db = paper_db_distributed
+        assert_all_plans_correct(cat, db, figure1_query(cat))
+
+    def test_order_by_query(self, paper_db):
+        cat, db = paper_db
+        query = parse_query(
+            "SELECT NAME, MGR FROM DEPT, EMP "
+            "WHERE DEPT.DNO = EMP.DNO AND MGR = 'Haas' ORDER BY NAME",
+            cat,
+        )
+        assert_all_plans_correct(cat, db, query)
+
+    def test_range_and_or_predicates(self, paper_db):
+        cat, db = paper_db
+        query = parse_query(
+            "SELECT NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO "
+            "AND (MGR = 'Haas' OR MGR = 'Mohan') AND SALARY BETWEEN 40000 AND 90000",
+            cat,
+        )
+        assert_all_plans_correct(cat, db, query)
+
+    def test_expression_join_predicate(self, paper_db):
+        cat, db = paper_db
+        query = parse_query(
+            "SELECT NAME FROM DEPT, EMP WHERE EMP.DNO = DEPT.DNO + 0 AND MGR = 'Haas'",
+            cat,
+        )
+        assert_all_plans_correct(cat, db, query, baseline=False)
+
+
+class TestThreeTables:
+    @pytest.fixture(scope="class")
+    def env(self):
+        from repro.workloads.paper import paper_catalog, paper_database
+
+        cat = paper_catalog(dept_rows=20, emp_rows=300)
+        db = paper_database(cat)
+        with_proj(cat, db, proj_rows=150)
+        return cat, db
+
+    def test_three_way_join(self, env):
+        cat, db = env
+        query = parse_query(
+            "SELECT NAME, TITLE FROM DEPT, EMP, PROJ "
+            "WHERE DEPT.DNO = EMP.DNO AND EMP.ENO = PROJ.ENO AND MGR = 'Haas'",
+            cat,
+        )
+        assert_all_plans_correct(cat, db, query)
+
+    def test_three_way_with_order(self, env):
+        cat, db = env
+        query = parse_query(
+            "SELECT NAME, TITLE FROM DEPT, EMP, PROJ "
+            "WHERE DEPT.DNO = EMP.DNO AND EMP.ENO = PROJ.ENO ORDER BY NAME DESC",
+            cat,
+        )
+        assert_all_plans_correct(cat, db, query, baseline=False)
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [
+        pytest.param(lambda: chain_workload(3, rows=60, seed=7, selection=0.3), id="chain3-selective"),
+        pytest.param(lambda: chain_workload(4, rows=40, seed=8, n_sites=2), id="chain4-distributed"),
+        pytest.param(lambda: star_workload(4, rows=40, seed=9), id="star4"),
+        pytest.param(lambda: clique_workload(3, rows=30, seed=10, domain=15), id="clique3"),
+        pytest.param(lambda: chain_workload(3, rows=40, seed=11, index_fraction=0.0), id="chain3-noindex"),
+    ],
+)
+def test_synthetic_workloads(workload):
+    wl = workload()
+    assert_all_plans_correct(wl.catalog, wl.database, wl.query)
+
+
+def test_cartesian_products_config():
+    wl = chain_workload(3, rows=30, seed=12)
+    assert_all_plans_correct(
+        wl.catalog,
+        wl.database,
+        wl.query,
+        config=OptimizerConfig(cartesian_products=True),
+    )
+
+
+def test_composite_inners_disabled():
+    wl = chain_workload(4, rows=30, seed=13)
+    assert_all_plans_correct(
+        wl.catalog,
+        wl.database,
+        wl.query,
+        config=OptimizerConfig(composite_inners=False),
+        baseline=False,
+    )
+
+
+def test_glue_cheapest_mode():
+    wl = chain_workload(3, rows=30, seed=14)
+    assert_all_plans_correct(
+        wl.catalog,
+        wl.database,
+        wl.query,
+        config=OptimizerConfig(glue_mode="cheapest"),
+        baseline=False,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Randomized single- and two-table queries over the paper database
+# ---------------------------------------------------------------------------
+
+_MANAGERS = st.sampled_from(["Haas", "Mohan", "Lindsay", "Nobody"])
+_DNO = st.integers(min_value=-5, max_value=60)
+_SAL = st.integers(min_value=20_000, max_value=160_000)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(mgr=_MANAGERS, dno=_DNO, low=_SAL, high=_SAL)
+def test_random_predicates_match_reference(paper_db, mgr, dno, low, high):
+    cat, db = paper_db
+    low, high = min(low, high), max(low, high)
+    query = parse_query(
+        "SELECT NAME, MGR FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO "
+        f"AND (MGR = '{mgr}' OR DEPT.DNO = {dno}) "
+        f"AND SALARY BETWEEN {low} AND {high}",
+        cat,
+    )
+    result = StarburstOptimizer(cat).optimize(query)
+    got = QueryExecutor(db).run(query, result.best_plan).as_multiset()
+    assert got == naive_evaluate(query, db).as_multiset()

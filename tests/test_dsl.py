@@ -1,0 +1,257 @@
+"""Unit tests for the STAR rule DSL parser."""
+
+import pytest
+
+from repro.errors import ParseError, RuleError
+from repro.stars.ast import (
+    Call,
+    Compare,
+    Const,
+    ForAll,
+    Logical,
+    Negate,
+    Param,
+    SetExpr,
+    SetLiteral,
+    StarRef,
+)
+from repro.stars.dsl import parse_rules
+
+
+def star(text: str, name: str):
+    return parse_rules(text).get(name)
+
+
+class TestStructure:
+    def test_minimal_star(self):
+        s = star("star S(T) { alt -> ACCESS(T, {}, {}); }", "S")
+        assert s.params == ("T",)
+        assert len(s.alternatives) == 1
+        assert not s.exclusive
+
+    def test_exclusive_keyword(self):
+        s = star("star S(T) exclusive { alt -> ACCESS(T, {}, {}); }", "S")
+        assert s.exclusive
+
+    def test_inclusive_keyword(self):
+        s = star("star S(T) inclusive { alt -> ACCESS(T, {}, {}); }", "S")
+        assert not s.exclusive
+
+    def test_multiple_alternatives(self):
+        s = star(
+            """
+            star S(T, P) {
+                alt -> ACCESS(T, {}, P);
+                alt if nonempty(P) -> FILTER(ACCESS(T, {}, {}), P);
+            }
+            """,
+            "S",
+        )
+        assert len(s.alternatives) == 2
+        assert s.alternatives[0].condition is None
+        assert isinstance(s.alternatives[1].condition, Call)
+
+    def test_otherwise(self):
+        s = star(
+            """
+            star S(T) exclusive {
+                alt if local_query() -> ACCESS(T, {}, {});
+                otherwise -> STORE(ACCESS(T, {}, {}));
+            }
+            """,
+            "S",
+        )
+        assert s.alternatives[1].otherwise
+
+    def test_where_bindings_ordered(self):
+        s = star(
+            """
+            star S(P) {
+                where A = join_preds(P);
+                where B = A | P;
+                alt -> ACCESS('T', {}, B);
+            }
+            """,
+            "S",
+        )
+        assert [name for name, _ in s.bindings] == ["A", "B"]
+        assert isinstance(s.bindings[1][1], SetExpr)
+
+    def test_extend_adds_alternatives(self):
+        rules = parse_rules("star S(T) { alt -> ACCESS(T, {}, {}); }")
+        parse_rules("extend S { alt -> STORE(ACCESS(T, {}, {})); }", base=rules)
+        assert len(rules.get("S").alternatives) == 2
+
+    def test_extend_unknown_star_rejected(self):
+        with pytest.raises(RuleError, match="unknown STAR"):
+            parse_rules("extend Nope { alt -> ACCESS('T', {}, {}); }")
+
+    def test_duplicate_star_rejected(self):
+        with pytest.raises(RuleError, match="already defined"):
+            parse_rules(
+                "star S(T) { alt -> ACCESS(T, {}, {}); }"
+                "star S(T) { alt -> ACCESS(T, {}, {}); }"
+            )
+
+    def test_comments_ignored(self):
+        s = star(
+            """
+            // a line comment
+            star S(T) {  # another comment
+                alt -> ACCESS(T, {}, {});  // trailing
+            }
+            """,
+            "S",
+        )
+        assert s.params == ("T",)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(RuleError, match="no alternative"):
+            parse_rules("star S(T) { }")
+
+
+class TestTerms:
+    def test_lolepop_flavor_parsed(self):
+        s = star(
+            "star S(A, B, P) { alt -> JOIN(MG, Glue(A, {}), Glue(B, {}), P, {}); }",
+            "S",
+        )
+        ref = s.alternatives[0].term
+        assert isinstance(ref, StarRef)
+        assert ref.name == "JOIN" and ref.flavor == "MG"
+        assert len(ref.args) == 4
+
+    def test_nested_terms(self):
+        s = star(
+            "star S(T, C, P) { alt -> GET(ACCESS(T, C, P), T, C, {}); }", "S"
+        )
+        outer = s.alternatives[0].term
+        assert outer.name == "GET"
+        inner = outer.args[0].value
+        assert isinstance(inner, StarRef) and inner.name == "ACCESS"
+
+    def test_forall(self):
+        s = star(
+            "star S(T) { alt -> forall i in matching_indexes(T): ACCESS(i, {}, {}); }",
+            "S",
+        )
+        term = s.alternatives[0].term
+        assert isinstance(term, ForAll)
+        assert term.var == "i"
+        assert isinstance(term.term, StarRef)
+
+    def test_unknown_name_stays_call(self):
+        s = star("star S(T, C, P) { alt -> SomeOther(T, C, P); }", "S")
+        term = s.alternatives[0].term
+        assert isinstance(term, Call)
+        assert term.name == "SomeOther"
+
+    def test_star_literal_argument(self):
+        s = star("star S(T, P) { alt -> ACCESS(Glue(T [temp], {}), *, P); }", "S")
+        ref = s.alternatives[0].term
+        assert ref.args[1].value == Const("*")
+
+
+class TestRequiredProperties:
+    def test_site_requirement(self):
+        s = star("star S(A, B, P, s) { alt -> Other(A [site = s], B, P); }", "S")
+        term = s.alternatives[0].term
+        req = term.args[0].required
+        assert req.site == Param("s")
+        assert term.args[1].required is None
+
+    def test_order_requirement_with_call(self):
+        s = star(
+            "star S(A, SP) { alt -> Glue(A [order = merge_cols(SP, A)], {}); }", "S"
+        )
+        req = s.alternatives[0].term.args[0].required
+        assert isinstance(req.order, Call)
+
+    def test_temp_flag(self):
+        s = star("star S(A, P) { alt -> Glue(A [temp], P); }", "S")
+        assert s.alternatives[0].term.args[0].required.temp
+
+    def test_paths_requirement(self):
+        s = star("star S(A, IX, P) { alt -> Glue(A [paths >= IX], P); }", "S")
+        assert s.alternatives[0].term.args[0].required.paths == Param("IX")
+
+    def test_combined_requirements(self):
+        s = star("star S(A, s, o) { alt -> Glue(A [site = s, order = o, temp], {}); }", "S")
+        req = s.alternatives[0].term.args[0].required
+        assert req.site == Param("s") and req.order == Param("o") and req.temp
+
+
+class TestExpressions:
+    def parse_cond(self, text):
+        s = star(f"star S(P, T1, T2) {{ alt if {text} -> ACCESS('T', {{}}, {{}}); }}", "S")
+        return s.alternatives[0].condition
+
+    def test_set_literal_and_empty_set(self):
+        assert self.parse_cond("P != {}") == Compare("!=", Param("P"), Const(frozenset()))
+        cond = self.parse_cond("P == {1, 2}")
+        assert isinstance(cond.right, SetLiteral)
+
+    def test_set_algebra_left_assoc(self):
+        cond = self.parse_cond("(P - T1 | T2) != {}")
+        left = cond.left
+        assert isinstance(left, SetExpr) and left.op == "|"
+        assert isinstance(left.left, SetExpr) and left.left.op == "-"
+
+    def test_boolean_connectives(self):
+        cond = self.parse_cond("nonempty(P) and not empty(T1) or local_query()")
+        assert isinstance(cond, Logical) and cond.op == "or"
+        assert isinstance(cond.parts[0], Logical) and cond.parts[0].op == "and"
+        assert isinstance(cond.parts[0].parts[1], Negate)
+
+    def test_comparisons(self):
+        for op in ("==", "!=", "<=", ">=", "<", ">", "in"):
+            cond = self.parse_cond(f"T1 {op} T2")
+            assert cond.op == op
+
+    def test_string_and_number_literals(self):
+        cond = self.parse_cond("query_site() == 'L.A.'")
+        assert cond.right == Const("L.A.")
+        cond = self.parse_cond("nonempty(P) == true")
+        assert cond.right == Const(True)
+
+
+class TestErrors:
+    def test_position_reported(self):
+        with pytest.raises(ParseError) as info:
+            parse_rules("star S(T) {\n  alt -> ;\n}")
+        assert info.value.line == 2
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_rules("star S(T) { alt -> ACCESS(T, {}, {}) }")
+
+    def test_bad_top_level(self):
+        with pytest.raises(ParseError, match="expected 'star' or 'extend'"):
+            parse_rules("banana")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_rules("star S(T { alt -> ACCESS(T, {}, {}); }")
+
+    def test_bad_required_property(self):
+        with pytest.raises(ParseError, match="required property"):
+            parse_rules("star S(A) { alt -> Glue(A [frobnicate], {}); }")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse_rules("star S(T) { alt -> ACCESS(T, {}, {}); } @")
+
+
+class TestRoundtrip:
+    def test_builtin_rules_str_reparse(self):
+        """StarDef.__str__ emits valid DSL text (modulo name resolution)."""
+        from repro.stars.builtin_rules import default_rules
+
+        rules = default_rules()
+        text = "\n".join(str(s) for s in rules)
+        reparsed = parse_rules(text)
+        assert set(reparsed.names()) == set(rules.names())
+        for name in rules.names():
+            assert len(reparsed.get(name).alternatives) == len(
+                rules.get(name).alternatives
+            )

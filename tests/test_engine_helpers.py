@@ -1,0 +1,84 @@
+"""Unit tests for the engine's internal helpers (memo keys, rule-level
+comparison semantics, coercions)."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.plans.properties import requirements
+from repro.plans.sap import SAP, Stream
+from repro.query.expressions import ColumnRef
+from repro.stars.engine import _as_sap, _as_set, _canonical, _compare, _short
+
+DNO = ColumnRef("DEPT", "DNO")
+
+
+class TestCanonical:
+    def test_streams_by_content(self):
+        a = Stream(frozenset({"DEPT"}), requirements(site="x"))
+        b = Stream(frozenset({"DEPT"}), requirements(site="x"))
+        c = Stream(frozenset({"DEPT"}), requirements(site="y"))
+        assert _canonical(a) == _canonical(b)
+        assert _canonical(a) != _canonical(c)
+
+    def test_saps_by_digest_order_independent(self, factory):
+        p1 = factory.access_base("DEPT", {DNO}, set())
+        p2 = factory.sort(p1, (DNO,))
+        assert _canonical(SAP([p1, p2])) == _canonical(SAP([p2, p1]))
+
+    def test_plans_by_digest(self, factory):
+        p1 = factory.access_base("DEPT", {DNO}, set())
+        p2 = factory.access_base("DEPT", {DNO}, set())
+        assert _canonical(p1) == _canonical(p2)
+
+    def test_nested_collections(self):
+        assert _canonical((1, [2, 3])) == (1, (2, 3))
+        assert _canonical({1, 2}) == frozenset({1, 2})
+
+    def test_scalars_pass_through(self):
+        assert _canonical("x") == "x"
+        assert _canonical(7) == 7
+
+
+class TestCompare:
+    def test_equality(self):
+        assert _compare("==", frozenset({1}), frozenset({1}))
+        assert _compare("!=", 1, 2)
+
+    def test_membership(self):
+        assert _compare("in", 1, (1, 2))
+        assert not _compare("in", 3, (1, 2))
+
+    def test_subset_semantics_for_sets(self):
+        assert _compare("<=", frozenset({1}), frozenset({1, 2}))
+        assert _compare("<", frozenset({1}), frozenset({1, 2}))
+        assert not _compare("<", frozenset({1, 2}), frozenset({1, 2}))
+        assert _compare(">=", frozenset({1, 2}), frozenset({1}))
+
+    def test_numeric_semantics_for_scalars(self):
+        assert _compare("<=", 1, 2)
+        assert _compare(">", 3, 2)
+
+    def test_mixed_set_and_tuple(self):
+        assert _compare("<=", (1,), frozenset({1, 2}))
+
+
+class TestCoercions:
+    def test_as_set(self):
+        assert _as_set((1, 2)) == frozenset({1, 2})
+        assert _as_set([1]) == frozenset({1})
+        assert _as_set(frozenset({1})) == frozenset({1})
+        with pytest.raises(RuleError):
+            _as_set(42)
+
+    def test_as_sap(self, factory):
+        plan = factory.access_base("DEPT", {DNO}, set())
+        assert len(_as_sap(plan)) == 1
+        assert _as_sap(SAP([plan])).plans == (plan,)
+        with pytest.raises(RuleError):
+            _as_sap("not a plan")
+
+    def test_short_truncates(self):
+        assert _short("x" * 100).endswith("…")
+        assert _short("short") == "short"
+        text = _short(frozenset({f"item{i}" for i in range(10)}))
+        assert text.endswith("…}")

@@ -1,0 +1,85 @@
+"""Tests for the [LEE 88]-style evaluation-order control: alternatives
+are taken in definition order, with an optional per-reference budget."""
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.executor import QueryExecutor, naive_evaluate
+from repro.optimizer import StarburstOptimizer
+from repro.plans.sap import Stream
+from repro.query.parser import parse_query
+from repro.stars.dsl import parse_rules
+from repro.stars.engine import StarEngine
+from repro.workloads.generator import chain_workload
+
+RULES = """
+star S(T, C) {
+    alt -> ACCESS(T, C, {});
+    alt -> SORT(ACCESS(T, C, {}), first_col(C));
+    alt -> STORE(ACCESS(T, C, {}));
+}
+"""
+
+
+def make_engine(catalog, limit=None):
+    from repro.stars.registry import default_registry
+
+    registry = default_registry()
+    registry.register("first_col", lambda ctx, cols: tuple(sorted(cols, key=str))[:1])
+    query = parse_query("SELECT MGR FROM DEPT", catalog)
+    return StarEngine(
+        parse_rules(RULES),
+        catalog,
+        query,
+        registry=registry,
+        config=OptimizerConfig(max_plans_per_reference=limit),
+    )
+
+
+class TestBudget:
+    def test_unlimited_takes_all(self, catalog):
+        engine = make_engine(catalog)
+        from repro.query.expressions import ColumnRef
+
+        sap = engine.expand("S", ("DEPT", frozenset({ColumnRef("DEPT", "MGR")})))
+        assert len(sap) == 3
+
+    def test_budget_stops_early(self, catalog):
+        engine = make_engine(catalog, limit=1)
+        from repro.query.expressions import ColumnRef
+
+        sap = engine.expand("S", ("DEPT", frozenset({ColumnRef("DEPT", "MGR")})))
+        assert len(sap) == 1
+        # The FIRST alternative in definition order is the one taken.
+        assert next(iter(sap)).op == "ACCESS"
+        # Later alternatives were never even considered.
+        assert engine.stats.alternatives_considered == 1
+
+    def test_budget_of_two(self, catalog):
+        engine = make_engine(catalog, limit=2)
+        from repro.query.expressions import ColumnRef
+
+        sap = engine.expand("S", ("DEPT", frozenset({ColumnRef("DEPT", "MGR")})))
+        assert len(sap) == 2
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(max_plans_per_reference=0)
+
+
+class TestBudgetedOptimization:
+    def test_budgeted_optimizer_still_correct(self):
+        """A tight budget trades plan quality for speed but never
+        correctness."""
+        wl = chain_workload(3, rows=50, seed=17)
+        full = StarburstOptimizer(wl.catalog).optimize(wl.query)
+        budgeted = StarburstOptimizer(
+            wl.catalog, config=OptimizerConfig(max_plans_per_reference=1)
+        ).optimize(wl.query)
+        assert budgeted.stats.alternatives_considered <= full.stats.alternatives_considered
+        assert budgeted.best_cost >= full.best_cost - 1e-9
+        executor = QueryExecutor(wl.database)
+        reference = naive_evaluate(wl.query, wl.database).as_multiset()
+        assert (
+            executor.run(wl.query, budgeted.best_plan).as_multiset() == reference
+        )

@@ -1,0 +1,232 @@
+"""Unit tests for the run-time LOLEPOP routines (unary operators).
+
+Plans here are built directly with the PlanFactory against a small
+hand-loaded database, so each run-time routine is exercised in isolation.
+"""
+
+import pytest
+
+from repro.catalog import AccessPath, Catalog, TableDef
+from repro.catalog.catalog import make_columns
+from repro.cost.propfuncs import PlanFactory
+from repro.errors import ExecutionError
+from repro.executor import QueryExecutor
+from repro.query.expressions import ColumnRef
+from repro.query.parser import parse_predicate
+from repro.storage import Database
+
+A = ColumnRef("T", "A")
+B = ColumnRef("T", "B")
+S = ColumnRef("T", "S")
+
+
+@pytest.fixture()
+def env():
+    cat = Catalog()
+    cat.add_table(TableDef("T", make_columns("A", "B", ("S", "str"))))
+    cat.add_index(AccessPath("T_A", "T", ("A",)))
+    cat.add_index(AccessPath("T_AB", "T", ("A", "B")))
+    db = Database(cat)
+    db.create_storage("T")
+    db.load("T", [(i, i % 3, f"s{i % 2}") for i in range(20)])
+    db.analyze("T")
+    return cat, db, PlanFactory(cat), QueryExecutor(db)
+
+
+def pred(cat, text):
+    return parse_predicate(text, cat, ("T",))
+
+
+def values(rows, column):
+    return [row[column] for row in rows]
+
+
+class TestAccessHeap:
+    def test_scan_all(self, env):
+        cat, db, f, ex = env
+        rows, stats = ex.run_plan(f.access_base("T", {A, B}, set()))
+        assert len(rows) == 20
+        assert set(rows[0]) == {A, B}
+
+    def test_scan_applies_predicates(self, env):
+        cat, db, f, ex = env
+        plan = f.access_base("T", {A, B}, {pred(cat, "T.B = 1")})
+        rows, _ = ex.run_plan(plan)
+        assert len(rows) == 7
+        assert all(row[B] == 1 for row in rows)
+
+    def test_scan_charges_page_reads(self, env):
+        cat, db, f, ex = env
+        _, stats = ex.run_plan(f.access_base("T", {A}, set()))
+        assert stats.page_reads >= 1
+
+
+class TestAccessIndex:
+    def test_index_scan_in_key_order(self, env):
+        cat, db, f, ex = env
+        plan = f.access_index("T", cat.path("T", "T_A"))
+        rows, _ = ex.run_plan(plan)
+        assert values(rows, A) == sorted(range(20))
+
+    def test_index_equality_probe(self, env):
+        cat, db, f, ex = env
+        plan = f.access_index("T", cat.path("T", "T_A"), preds={pred(cat, "T.A = 7")})
+        rows, _ = ex.run_plan(plan)
+        assert values(rows, A) == [7]
+
+    def test_index_yields_tid(self, env):
+        cat, db, f, ex = env
+        plan = f.access_index("T", cat.path("T", "T_A"))
+        rows, _ = ex.run_plan(plan)
+        tid = ColumnRef("T", "#TID")
+        assert all(tid in row for row in rows)
+
+    def test_composite_prefix_probe(self, env):
+        cat, db, f, ex = env
+        plan = f.access_index(
+            "T", cat.path("T", "T_AB"), preds={pred(cat, "T.A = 4")}
+        )
+        rows, _ = ex.run_plan(plan)
+        assert values(rows, A) == [4]
+
+    def test_composite_full_probe(self, env):
+        cat, db, f, ex = env
+        plan = f.access_index(
+            "T",
+            cat.path("T", "T_AB"),
+            preds={pred(cat, "T.A = 4"), pred(cat, "T.B = 1")},
+        )
+        rows, _ = ex.run_plan(plan)
+        assert len(rows) == 1
+
+    def test_index_residual_filter(self, env):
+        cat, db, f, ex = env
+        # B is a key column of T_AB but has no sargable eq on A: the
+        # predicate on B filters during the scan.
+        plan = f.access_index(
+            "T", cat.path("T", "T_AB"), preds={pred(cat, "T.B = 2")}
+        )
+        rows, _ = ex.run_plan(plan)
+        assert all(row[B] == 2 for row in rows)
+
+
+class TestBtreeTableScan:
+    def test_clustered_scan_in_key_order(self):
+        cat = Catalog()
+        cat.add_table(
+            TableDef("O", make_columns("K", "V"), storage="btree", key=("K",))
+        )
+        db = Database(cat)
+        db.create_storage("O")
+        db.load("O", [(3, 30), (1, 10), (2, 20)])
+        db.analyze("O")
+        f = PlanFactory(cat)
+        ex = QueryExecutor(db)
+        K = ColumnRef("O", "K")
+        rows, _ = ex.run_plan(f.access_base("O", {K, ColumnRef("O", "V")}, set()))
+        assert values(rows, K) == [1, 2, 3]
+
+
+class TestGet:
+    def test_get_fetches_columns(self, env):
+        cat, db, f, ex = env
+        ix = f.access_index("T", cat.path("T", "T_A"), preds={pred(cat, "T.A = 3")})
+        plan = f.get(ix, "T", {S, B})
+        rows, _ = ex.run_plan(plan)
+        assert rows[0][S] == "s1"
+        assert rows[0][B] == 0
+
+    def test_get_applies_predicates(self, env):
+        cat, db, f, ex = env
+        ix = f.access_index("T", cat.path("T", "T_A"))
+        plan = f.get(ix, "T", {S}, {pred(cat, "T.S = 's0'")})
+        rows, _ = ex.run_plan(plan)
+        assert len(rows) == 10
+        assert all(row[S] == "s0" for row in rows)
+
+    def test_get_charges_fetch_io(self, env):
+        cat, db, f, ex = env
+        ix = f.access_index("T", cat.path("T", "T_A"))
+        _, stats = ex.run_plan(f.get(ix, "T", {S}))
+        assert stats.page_reads >= 20  # one fetch per tuple
+
+
+class TestSortFilter:
+    def test_sort_orders_rows(self, env):
+        cat, db, f, ex = env
+        plan = f.sort(f.access_base("T", {A, B}, set()), (B, A))
+        rows, _ = ex.run_plan(plan)
+        keys = [(row[B], row[A]) for row in rows]
+        assert keys == sorted(keys)
+
+    def test_filter_applies(self, env):
+        cat, db, f, ex = env
+        plan = f.filter(f.access_base("T", {A, B}, set()), {pred(cat, "T.A < 5")})
+        rows, _ = ex.run_plan(plan)
+        assert len(rows) == 5
+
+
+class TestShip:
+    def test_ship_counts_traffic(self):
+        cat = Catalog(query_site="L.A.")
+        cat.add_site("N.Y.")
+        cat.add_table(TableDef("R", make_columns("X", ("S", "str")), site="N.Y."))
+        db = Database(cat)
+        db.create_storage("R")
+        db.load("R", [(i, "abcdef") for i in range(50)])
+        db.analyze("R")
+        f = PlanFactory(cat)
+        ex = QueryExecutor(db)
+        X = ColumnRef("R", "X")
+        plan = f.ship(f.access_base("R", {X, ColumnRef("R", "S")}, set()), "L.A.")
+        rows, stats = ex.run_plan(plan)
+        assert len(rows) == 50
+        assert stats.messages >= 1
+        assert stats.bytes_shipped == 50 * (4 + 6)
+
+
+class TestStoreTempIndex:
+    def test_store_and_reaccess(self, env):
+        cat, db, f, ex = env
+        stored = f.store(f.access_base("T", {A, B}, {pred(cat, "T.B = 0")}))
+        plan = f.access_temp(stored)
+        rows, stats = ex.run_plan(plan)
+        assert len(rows) == 7
+        assert stats.temps_materialized == 1
+
+    def test_temp_access_applies_preds(self, env):
+        cat, db, f, ex = env
+        stored = f.store(f.access_base("T", {A, B}, set()))
+        plan = f.access_temp(stored, preds={pred(cat, "T.A = 9")})
+        rows, _ = ex.run_plan(plan)
+        assert values(rows, A) == [9]
+
+    def test_dynamic_index_probe(self, env):
+        cat, db, f, ex = env
+        stored = f.store(f.access_base("T", {A, B, S}, set()))
+        indexed = f.buildix(stored, (B,))
+        path = next(iter(indexed.props.paths))
+        plan = f.access_temp_index(indexed, path, preds={pred(cat, "T.B = 2")})
+        rows, _ = ex.run_plan(plan)
+        assert len(rows) == 6
+        assert all(row[B] == 2 for row in rows)
+        # Clustered dynamic index delivers non-key columns too.
+        assert all(S in row for row in rows)
+
+    def test_temps_dropped_after_run(self, env):
+        cat, db, f, ex = env
+        stored = f.store(f.access_base("T", {A}, set()))
+        ex.run_plan(f.access_temp(stored))
+        assert db.base_table_names() == ("T",)
+        # No temp tables are left behind.
+        with pytest.raises(Exception):
+            db.table(stored.props.stored_as)
+
+
+class TestUnion:
+    def test_union_concatenates(self, env):
+        cat, db, f, ex = env
+        low = f.access_base("T", {A, B}, {pred(cat, "T.A < 3")})
+        high = f.filter(f.access_base("T", {A, B}, set()), {pred(cat, "T.A >= 17")})
+        rows, _ = ex.run_plan(f.union(low, high))
+        assert sorted(values(rows, A)) == [0, 1, 2, 17, 18, 19]

@@ -1,0 +1,123 @@
+"""Unit tests for the scalar expression AST."""
+
+import pytest
+
+from repro.errors import ExecutionError, QueryError
+from repro.query.expressions import (
+    Arith,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    RowContext,
+)
+
+DNO = ColumnRef("DEPT", "DNO")
+MGR = ColumnRef("DEPT", "MGR")
+SAL = ColumnRef("EMP", "SALARY")
+
+
+class TestColumnRef:
+    def test_evaluate_looks_up_value(self):
+        ctx = RowContext({DNO: 7})
+        assert DNO.evaluate(ctx) == 7
+
+    def test_unbound_column_raises(self):
+        ctx = RowContext({})
+        with pytest.raises(ExecutionError, match="unbound column"):
+            DNO.evaluate(ctx)
+
+    def test_outer_context_chain(self):
+        outer = RowContext({DNO: 3})
+        inner = outer.child({SAL: 100})
+        assert DNO.evaluate(inner) == 3
+        assert SAL.evaluate(inner) == 100
+
+    def test_inner_shadows_outer(self):
+        outer = RowContext({DNO: 3})
+        inner = outer.child({DNO: 9})
+        assert DNO.evaluate(inner) == 9
+
+    def test_columns_and_tables(self):
+        assert DNO.columns() == frozenset([DNO])
+        assert DNO.tables() == frozenset(["DEPT"])
+
+    def test_str(self):
+        assert str(DNO) == "DEPT.DNO"
+
+    def test_hashable_and_eq(self):
+        assert ColumnRef("DEPT", "DNO") == DNO
+        assert hash(ColumnRef("DEPT", "DNO")) == hash(DNO)
+        assert ColumnRef("EMP", "DNO") != DNO
+
+
+class TestLiteral:
+    def test_evaluate(self):
+        assert Literal(42).evaluate(RowContext({})) == 42
+
+    def test_no_columns(self):
+        assert Literal("x").columns() == frozenset()
+
+    def test_str_quotes_strings(self):
+        assert str(Literal("Haas")) == "'Haas'"
+        assert str(Literal(5)) == "5"
+
+
+class TestArith:
+    def test_arithmetic_ops(self):
+        ctx = RowContext({SAL: 10})
+        assert Arith("+", SAL, Literal(5)).evaluate(ctx) == 15
+        assert Arith("-", SAL, Literal(5)).evaluate(ctx) == 5
+        assert Arith("*", SAL, Literal(5)).evaluate(ctx) == 50
+        assert Arith("/", SAL, Literal(5)).evaluate(ctx) == 2
+        assert Arith("%", SAL, Literal(3)).evaluate(ctx) == 1
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Arith("**", SAL, Literal(2))
+
+    def test_nested_columns_collected(self):
+        expr = Arith("+", Arith("*", SAL, Literal(2)), DNO)
+        assert expr.columns() == frozenset([SAL, DNO])
+        assert expr.tables() == frozenset(["EMP", "DEPT"])
+
+    def test_division_by_zero_raises_execution_error(self):
+        ctx = RowContext({SAL: 1})
+        with pytest.raises(ExecutionError, match="arithmetic failed"):
+            Arith("/", SAL, Literal(0)).evaluate(ctx)
+
+    def test_type_error_wrapped(self):
+        ctx = RowContext({MGR: "Haas"})
+        with pytest.raises(ExecutionError):
+            Arith("-", MGR, Literal(1)).evaluate(ctx)
+
+
+class TestFuncCall:
+    def test_builtin_functions(self):
+        ctx = RowContext({MGR: "Haas", SAL: -3})
+        assert FuncCall("upper", (MGR,)).evaluate(ctx) == "HAAS"
+        assert FuncCall("lower", (MGR,)).evaluate(ctx) == "haas"
+        assert FuncCall("length", (MGR,)).evaluate(ctx) == 4
+        assert FuncCall("abs", (SAL,)).evaluate(ctx) == 3
+        assert FuncCall("mod", (Literal(7), Literal(3))).evaluate(ctx) == 1
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError, match="unknown scalar function"):
+            FuncCall("median", (SAL,))
+
+    def test_bad_argument_type_wrapped(self):
+        ctx = RowContext({SAL: 5})
+        with pytest.raises(ExecutionError):
+            FuncCall("upper", (SAL,)).evaluate(ctx)
+
+    def test_str(self):
+        assert str(FuncCall("upper", (MGR,))) == "upper(DEPT.MGR)"
+
+
+class TestRowContext:
+    def test_bound(self):
+        outer = RowContext({DNO: 1})
+        inner = outer.child({SAL: 2})
+        assert inner.bound(DNO)
+        assert inner.bound(SAL)
+        assert not inner.bound(MGR)
+        assert not outer.bound(SAL)

@@ -1,0 +1,80 @@
+"""Scale and end-to-end integration: bigger queries stay fast and correct."""
+
+import pytest
+
+from repro.baseline import TransformationalOptimizer
+from repro.executor import QueryExecutor, naive_evaluate
+from repro.optimizer import StarburstOptimizer
+from repro.stars.builtin_rules import extended_rules
+from repro.workloads.generator import chain_workload, star_workload
+
+
+class TestScale:
+    def test_seven_table_chain_under_time_bound(self):
+        wl = chain_workload(7, rows=40, seed=71)
+        result = StarburstOptimizer(wl.catalog, rules=extended_rules()).optimize(
+            wl.query
+        )
+        assert result.best_plan.props.tables == set(wl.query.tables)
+        # ~1 s on the development machine; generous bound for CI noise.
+        assert result.elapsed_seconds < 20
+
+    def test_six_table_star_under_time_bound(self):
+        wl = star_workload(6, rows=30, seed=72)
+        result = StarburstOptimizer(wl.catalog, rules=extended_rules()).optimize(
+            wl.query
+        )
+        assert result.best_plan.props.tables == set(wl.query.tables)
+        assert result.elapsed_seconds < 30
+
+    def test_rule_work_scales_gently(self):
+        """The E6 claim as a regression test: STAR rule work grows by
+        less than 2.5x per added table on chains."""
+        works = []
+        for n in (3, 4, 5, 6):
+            wl = chain_workload(n, rows=30, seed=73)
+            result = StarburstOptimizer(wl.catalog, rules=extended_rules()).optimize(
+                wl.query
+            )
+            works.append(
+                result.stats.star_references
+                + result.stats.alternatives_considered
+                + result.stats.conditions_evaluated
+            )
+        for smaller, bigger in zip(works, works[1:]):
+            assert bigger < 2.5 * smaller
+
+
+class TestEndToEndDistributed:
+    def test_three_site_chain_all_plans_correct(self):
+        wl = chain_workload(3, rows=40, seed=74, n_sites=3)
+        result = StarburstOptimizer(wl.catalog, rules=extended_rules()).optimize(
+            wl.query
+        )
+        executor = QueryExecutor(wl.database)
+        reference = naive_evaluate(wl.query, wl.database).as_multiset()
+        for plan in result.alternatives:
+            assert executor.run(wl.query, plan).as_multiset() == reference
+
+    def test_full_repertoire_distributed(self):
+        """Every optional strategy enabled at once, on a distributed
+        workload: plans still correct."""
+        wl = chain_workload(3, rows=40, seed=75, n_sites=2)
+        rules = extended_rules(tid_sort=True, or_index=True, semijoin=True)
+        result = StarburstOptimizer(wl.catalog, rules=rules).optimize(wl.query)
+        executor = QueryExecutor(wl.database)
+        reference = naive_evaluate(wl.query, wl.database).as_multiset()
+        for plan in result.alternatives:
+            assert executor.run(wl.query, plan).as_multiset() == reference
+
+    def test_star_and_baseline_agree_on_distributed(self):
+        wl = chain_workload(3, rows=40, seed=76, n_sites=2)
+        star = StarburstOptimizer(wl.catalog, rules=extended_rules()).optimize(
+            wl.query
+        )
+        base = TransformationalOptimizer(wl.catalog).optimize(wl.query)
+        executor = QueryExecutor(wl.database)
+        assert (
+            executor.run(wl.query, star.best_plan).as_multiset()
+            == executor.run(wl.query, base.best_plan).as_multiset()
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for the naive reference evaluator."""
+
+import pytest
+
+from repro.catalog import Catalog, TableDef
+from repro.catalog.catalog import make_columns
+from repro.executor import naive_evaluate
+from repro.query.parser import parse_query
+from repro.storage import Database
+
+
+@pytest.fixture()
+def env():
+    cat = Catalog()
+    cat.add_table(TableDef("L", make_columns("K", "V")))
+    cat.add_table(TableDef("R", make_columns("K", "W")))
+    db = Database(cat)
+    db.create_storage("L")
+    db.create_storage("R")
+    db.load("L", [(k, k * 10) for k in range(5)])
+    db.load("R", [(k % 3, k) for k in range(6)])
+    db.analyze_all()
+    return cat, db
+
+
+class TestNaive:
+    def test_single_table_filter(self, env):
+        cat, db = env
+        result = naive_evaluate(parse_query("SELECT K FROM L WHERE K > 2", cat), db)
+        assert sorted(result.rows) == [(3,), (4,)]
+
+    def test_join(self, env):
+        cat, db = env
+        result = naive_evaluate(
+            parse_query("SELECT L.K, R.W FROM L, R WHERE L.K = R.K", cat), db
+        )
+        expected = sorted((k, w) for k in range(5) for w in range(6) if k == w % 3)
+        assert sorted(result.rows) == expected
+
+    def test_projection_expressions(self, env):
+        cat, db = env
+        result = naive_evaluate(
+            parse_query("SELECT K + 1 AS KK FROM L WHERE K = 2", cat), db
+        )
+        assert result.rows == [(3,)]
+        assert result.columns == ("KK",)
+
+    def test_order_by_desc(self, env):
+        cat, db = env
+        result = naive_evaluate(
+            parse_query("SELECT K FROM L ORDER BY K DESC", cat), db
+        )
+        assert [r[0] for r in result.rows] == [4, 3, 2, 1, 0]
+
+    def test_multiset_duplicates_preserved(self, env):
+        cat, db = env
+        result = naive_evaluate(parse_query("SELECT R.K FROM R", cat), db)
+        assert result.as_multiset() == {(0,): 2, (1,): 2, (2,): 2}
+
+    def test_cartesian_product(self, env):
+        cat, db = env
+        result = naive_evaluate(parse_query("SELECT L.K, R.K FROM L, R", cat), db)
+        assert len(result) == 5 * 6
+
+    def test_or_predicate(self, env):
+        cat, db = env
+        result = naive_evaluate(
+            parse_query("SELECT K FROM L WHERE K = 0 OR K = 4", cat), db
+        )
+        assert sorted(result.rows) == [(0,), (4,)]

@@ -1,0 +1,141 @@
+"""Tests for the index OR-ing strategy (the paper's omitted-for-brevity
+"ANDing and ORing of multiple indexes for a single table"), shipped as
+optional rule data with a DEDUP LOLEPOP merging TID streams."""
+
+import pytest
+
+from repro.catalog import AccessPath, Catalog, ColumnStats, TableDef, TableStats
+from repro.catalog.catalog import make_columns
+from repro.config import OptimizerConfig
+from repro.executor import QueryExecutor, naive_evaluate
+from repro.optimizer import StarburstOptimizer
+from repro.plans.operators import DEDUP, GET, UNION
+from repro.query.parser import parse_query
+from repro.stars.builtin_rules import extended_rules
+from repro.stars.engine import StarEngine
+from repro.storage import Database
+
+
+@pytest.fixture()
+def env():
+    cat = Catalog()
+    rows = 8000
+    cat.add_table(
+        TableDef("T", make_columns("A", "B", ("PAY", "str"))), TableStats(card=rows)
+    )
+    cat.add_index(AccessPath("T_A", "T", ("A",)))
+    cat.add_index(AccessPath("T_B", "T", ("B",)))
+    db = Database(cat)
+    db.create_storage("T")
+    db.load("T", [(i, (i * 7) % rows, f"p{i}") for i in range(rows)])
+    db.analyze("T")
+    return cat, db
+
+
+def or_plans(plans):
+    return [
+        p
+        for p in plans
+        if any(n.op == DEDUP for n in p.nodes())
+        and any(n.op == UNION for n in p.nodes())
+    ]
+
+
+def expand(cat, sql, or_index=True):
+    query = parse_query(sql, cat)
+    engine = StarEngine(
+        extended_rules(or_index=or_index),
+        cat,
+        query,
+        config=OptimizerConfig(prune=False),
+    )
+    sap = engine.expand(
+        "AccessRoot",
+        ("T", query.columns_for_table("T"), query.single_table_predicates("T")),
+    )
+    return sap, query, engine
+
+
+SQL = "SELECT PAY FROM T WHERE A = 3 OR B = 7"
+
+
+class TestOrIndexRules:
+    def test_alternative_generated(self, env):
+        cat, _ = env
+        sap, _, _ = expand(cat, SQL)
+        plans = or_plans(sap)
+        assert plans
+        plan = plans[0]
+        ops = [n.op for n in plan.nodes()]
+        assert ops[0] == GET  # GET on top of DEDUP(UNION(...))
+
+    def test_absent_without_extension(self, env):
+        cat, _ = env
+        sap, _, _ = expand(cat, SQL, or_index=False)
+        assert not or_plans(sap)
+
+    def test_requires_indexes_on_both_branches(self, env):
+        cat, _ = env
+        # PAY has no index: the disjunction is not splittable.
+        sap, _, _ = expand(cat, "SELECT A FROM T WHERE A = 3 OR PAY = 'p1'")
+        assert not or_plans(sap)
+
+    def test_three_branch_or_not_split(self, env):
+        cat, _ = env
+        sap, _, _ = expand(cat, "SELECT PAY FROM T WHERE A = 1 OR A = 2 OR B = 3")
+        assert not or_plans(sap)
+
+    def test_or_plan_cheaper_than_scan_when_selective(self, env):
+        cat, _ = env
+        sap, _, engine = expand(cat, SQL)
+        model = engine.ctx.model
+        or_cost = min(model.total(p.props.cost) for p in or_plans(sap))
+        scan_cost = min(
+            model.total(p.props.cost)
+            for p in sap
+            if p.op == "ACCESS" and p.flavor == "heap"
+        )
+        assert or_cost < scan_cost
+
+    def test_validates(self, env):
+        from repro.stars.registry import default_registry
+        from repro.stars.validate import validate_rules
+
+        report = validate_rules(extended_rules(or_index=True), default_registry())
+        assert report.ok, report.errors
+
+
+class TestOrIndexExecution:
+    def test_answers_match_reference(self, env):
+        cat, db = env
+        query = parse_query(SQL, cat)
+        result = StarburstOptimizer(
+            cat, rules=extended_rules(or_index=True)
+        ).optimize(query)
+        executor = QueryExecutor(db)
+        reference = naive_evaluate(query, db).as_multiset()
+        for plan in result.alternatives:
+            assert executor.run(query, plan).as_multiset() == reference
+
+    def test_overlapping_branches_deduplicated(self, env):
+        cat, db = env
+        # Row 0 has A=0 and B=0: both branches match the same row.
+        query = parse_query("SELECT PAY FROM T WHERE A = 0 OR B = 0", cat)
+        sap, _, engine = expand(cat, "SELECT PAY FROM T WHERE A = 0 OR B = 0")
+        plans = or_plans(sap)
+        assert plans
+        executor = QueryExecutor(db)
+        rows, _ = executor.run_plan(plans[0])
+        reference = naive_evaluate(query, db)
+        assert len(rows) == len(reference)
+
+    def test_executes_via_both_indexes(self, env):
+        cat, db = env
+        sap, _, _ = expand(cat, SQL)
+        plan = or_plans(sap)[0]
+        executor = QueryExecutor(db)
+        rows, stats = executor.run_plan(plan)
+        assert stats.index_reads > 0
+        # A=3 matches one row; B=7 matches rows with (i*7)%8000 == 7.
+        expected = {r for r in range(8000) if r == 3 or (r * 7) % 8000 == 7}
+        assert len(rows) == len(expected)

@@ -1,0 +1,162 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import CatalogError, ParseError
+from repro.query.expressions import Arith, ColumnRef, FuncCall, Literal
+from repro.query.parser import parse_expression, parse_predicate, parse_query
+from repro.query.predicates import Comparison, Conjunction, Disjunction, Negation
+
+T = ("DEPT", "EMP")
+
+
+class TestExpressions:
+    def test_literals(self, catalog):
+        assert parse_expression("42", catalog, T) == Literal(42)
+        assert parse_expression("4.5", catalog, T) == Literal(4.5)
+        assert parse_expression("'Haas'", catalog, T) == Literal("Haas")
+
+    def test_escaped_quote(self, catalog):
+        assert parse_expression("'O''Brien'", catalog, T) == Literal("O'Brien")
+
+    def test_qualified_column(self, catalog):
+        assert parse_expression("DEPT.DNO", catalog, T) == ColumnRef("DEPT", "DNO")
+
+    def test_unqualified_column_resolved(self, catalog):
+        assert parse_expression("MGR", catalog, T) == ColumnRef("DEPT", "MGR")
+
+    def test_ambiguous_column_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="ambiguous"):
+            parse_expression("DNO", catalog, T)
+
+    def test_unknown_column_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="not found"):
+            parse_expression("NOPE", catalog, T)
+
+    def test_precedence(self, catalog):
+        expr = parse_expression("1 + 2 * 3", catalog, T)
+        assert expr == Arith("+", Literal(1), Arith("*", Literal(2), Literal(3)))
+
+    def test_parentheses(self, catalog):
+        expr = parse_expression("(1 + 2) * 3", catalog, T)
+        assert expr == Arith("*", Arith("+", Literal(1), Literal(2)), Literal(3))
+
+    def test_unary_minus(self, catalog):
+        assert parse_expression("-7", catalog, T) == Literal(-7)
+
+    def test_unary_minus_on_column(self, catalog):
+        expr = parse_expression("-ENO", catalog, T)
+        assert expr == Arith("-", Literal(0), ColumnRef("EMP", "ENO"))
+
+    def test_function_call(self, catalog):
+        expr = parse_expression("upper(MGR)", catalog, T)
+        assert expr == FuncCall("upper", (ColumnRef("DEPT", "MGR"),))
+
+    def test_trailing_garbage_rejected(self, catalog):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra", catalog, T)
+
+
+class TestPredicates:
+    def test_simple_comparison(self, catalog):
+        pred = parse_predicate("DEPT.DNO = EMP.DNO", catalog, T)
+        assert pred == Comparison(
+            "=", ColumnRef("DEPT", "DNO"), ColumnRef("EMP", "DNO")
+        )
+
+    def test_neq_spelling_normalized(self, catalog):
+        assert parse_predicate("ENO != 3", catalog, T).op == "<>"
+        assert parse_predicate("ENO <> 3", catalog, T).op == "<>"
+
+    def test_and_or_precedence(self, catalog):
+        pred = parse_predicate("ENO = 1 OR ENO = 2 AND MGR = 'x'", catalog, T)
+        assert isinstance(pred, Disjunction)
+        assert isinstance(pred.parts[1], Conjunction)
+
+    def test_not(self, catalog):
+        pred = parse_predicate("NOT ENO = 1", catalog, T)
+        assert isinstance(pred, Negation)
+
+    def test_parenthesized_predicate(self, catalog):
+        pred = parse_predicate("(ENO = 1 OR ENO = 2) AND MGR = 'x'", catalog, T)
+        assert isinstance(pred, Conjunction)
+        assert isinstance(pred.parts[0], Disjunction)
+
+    def test_between(self, catalog):
+        pred = parse_predicate("ENO BETWEEN 3 AND 7", catalog, T)
+        assert isinstance(pred, Conjunction)
+        ops = {p.op for p in pred.parts}
+        assert ops == {">=", "<="}
+
+    def test_comparison_against_expression(self, catalog):
+        pred = parse_predicate("ENO > 2 + 3", catalog, T)
+        assert pred.right == Arith("+", Literal(2), Literal(3))
+
+    def test_missing_operator_rejected(self, catalog):
+        with pytest.raises(ParseError, match="comparison"):
+            parse_predicate("ENO 5", catalog, T)
+
+
+class TestQueries:
+    def test_basic_query(self, catalog, fig1_query):
+        assert fig1_query.tables == ("DEPT", "EMP")
+        assert len(fig1_query.select) == 3
+        assert len(fig1_query.predicates) == 2
+
+    def test_star_expands_all_columns(self, catalog):
+        q = parse_query("SELECT * FROM EMP", catalog)
+        assert [s.alias for s in q.select] == ["ENO", "DNO", "NAME", "ADDRESS"]
+
+    def test_star_multi_table(self, catalog):
+        q = parse_query("SELECT * FROM DEPT, EMP", catalog)
+        assert len(q.select) == 2 + 4
+
+    def test_aliases(self, catalog):
+        q = parse_query("SELECT ENO AS employee FROM EMP", catalog)
+        assert q.select[0].alias == "employee"
+
+    def test_expression_in_select(self, catalog):
+        q = parse_query("SELECT ENO + 1 AS next FROM EMP", catalog)
+        assert isinstance(q.select[0].expr, Arith)
+
+    def test_where_conjuncts_flattened(self, catalog):
+        q = parse_query(
+            "SELECT ENO FROM EMP WHERE ENO > 1 AND ENO < 9 AND DNO = 2", catalog
+        )
+        assert len(q.predicates) == 3
+
+    def test_or_stays_single_conjunct(self, catalog):
+        q = parse_query("SELECT ENO FROM EMP WHERE ENO = 1 OR ENO = 2", catalog)
+        assert len(q.predicates) == 1
+        assert isinstance(q.predicates[0], Disjunction)
+
+    def test_order_by(self, catalog):
+        q = parse_query("SELECT NAME FROM EMP ORDER BY NAME, ENO DESC", catalog)
+        assert [o.column.column for o in q.order_by] == ["NAME", "ENO"]
+        assert [o.descending for o in q.order_by] == [False, True]
+
+    def test_order_by_asc_keyword(self, catalog):
+        q = parse_query("SELECT NAME FROM EMP ORDER BY NAME ASC", catalog)
+        assert not q.order_by[0].descending
+
+    def test_keywords_case_insensitive(self, catalog):
+        q = parse_query("select NAME from EMP where ENO = 1 order by NAME", catalog)
+        assert q.tables == ("EMP",)
+
+    def test_trailing_tokens_rejected(self, catalog):
+        with pytest.raises(ParseError):
+            parse_query("SELECT NAME FROM EMP garbage here", catalog)
+
+    def test_missing_from_rejected(self, catalog):
+        with pytest.raises(ParseError):
+            parse_query("SELECT NAME", catalog)
+
+    def test_error_carries_position(self, catalog):
+        with pytest.raises(ParseError) as info:
+            parse_query("SELECT NAME\nFROM EMP WHERE ???", catalog)
+        assert info.value.line == 2
+
+    def test_roundtrip_str_reparses(self, catalog, fig1_query):
+        again = parse_query(str(fig1_query), catalog)
+        assert again.tables == fig1_query.tables
+        assert set(again.predicates) == set(fig1_query.predicates)

@@ -1,0 +1,107 @@
+"""Unit tests for plan nodes, digests, and plan rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.plans.plan import PlanNode, make_params, plan_digest, render_functional, render_tree
+from repro.query.expressions import ColumnRef
+
+DNO = ColumnRef("DEPT", "DNO")
+MGR = ColumnRef("DEPT", "MGR")
+
+
+class TestPlanNodeValidation:
+    def test_arity_checked(self, factory):
+        access = factory.access_base("DEPT", {DNO}, set())
+        with pytest.raises(ReproError, match="input"):
+            PlanNode("SORT", None, make_params(order=(DNO,)), (), access.props)
+
+    def test_flavor_checked(self, factory):
+        d = factory.access_base("DEPT", {DNO}, set())
+        e = factory.access_base("EMP", {ColumnRef("EMP", "DNO")}, set())
+        with pytest.raises(ReproError, match="flavor"):
+            factory.join("ZIGZAG", d, e, set())
+
+    def test_unknown_param_rejected(self, factory):
+        access = factory.access_base("DEPT", {DNO}, set())
+        with pytest.raises(ReproError, match="parameter"):
+            PlanNode("SORT", None, make_params(bogus=1), (access,), access.props)
+
+    def test_param_lookup(self, factory):
+        access = factory.access_base("DEPT", {DNO}, set())
+        assert access.param("table") == "DEPT"
+        assert access.param("nonexistent", 42) == 42
+
+
+class TestDigests:
+    def test_same_structure_same_digest(self, factory):
+        a = factory.access_base("DEPT", {DNO}, set())
+        b = factory.access_base("DEPT", {DNO}, set())
+        assert plan_digest(a) == plan_digest(b)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_params_different_digest(self, factory, mgr_pred):
+        a = factory.access_base("DEPT", {DNO}, set())
+        b = factory.access_base("DEPT", {DNO}, {mgr_pred})
+        assert plan_digest(a) != plan_digest(b)
+
+    def test_digest_ignores_cost(self, factory):
+        # Same structure built through different factories (same catalog)
+        # has the same digest even if props differ in float noise.
+        a = factory.access_base("DEPT", {DNO, MGR}, set())
+        b = factory.access_base("DEPT", {MGR, DNO}, set())
+        assert plan_digest(a) == plan_digest(b)
+
+    def test_digest_differs_across_children(self, factory):
+        a = factory.access_base("DEPT", {DNO}, set())
+        sorted_a = factory.sort(a, (DNO,))
+        assert plan_digest(a) != plan_digest(sorted_a)
+
+
+class TestTraversal:
+    def test_nodes_preorder(self, factory):
+        a = factory.access_base("DEPT", {DNO}, set())
+        s = factory.sort(a, (DNO,))
+        ops = [n.op for n in s.nodes()]
+        assert ops == ["SORT", "ACCESS"]
+
+    def test_count_nodes(self, factory, join_pred):
+        d = factory.access_base("DEPT", {DNO}, set())
+        e = factory.access_base("EMP", {ColumnRef("EMP", "DNO")}, set())
+        j = factory.join("HA", d, e, {join_pred})
+        assert j.count_nodes() == 3
+
+
+class TestRendering:
+    def test_functional_notation_nests(self, factory):
+        a = factory.access_base("DEPT", {DNO}, set())
+        s = factory.sort(a, (DNO,))
+        text = render_functional(s)
+        assert text.startswith("SORT(DEPT.DNO, ACCESS(")
+        assert text.count("(") == text.count(")")
+
+    def test_tree_rendering_shows_structure(self, factory, join_pred):
+        d = factory.sort(factory.access_base("DEPT", {DNO}, set()), (DNO,))
+        e = factory.access_base("EMP", {ColumnRef("EMP", "DNO")}, set())
+        j = factory.join("MG", d, e, {join_pred})
+        text = render_tree(j)
+        assert text.splitlines()[0].startswith("JOIN(MG")
+        assert "├── SORT" in text
+        assert "└── ACCESS" in text
+
+    def test_tree_properties_ears(self, factory):
+        a = factory.access_base("DEPT", {DNO}, set())
+        text = render_tree(a, show_properties=True)
+        assert "order:" in text and "site:" in text and "cost:" in text
+
+    def test_ship_and_filter_labels(self, factory, distributed_catalog, mgr_pred):
+        from repro.cost.propfuncs import PlanFactory
+
+        f = PlanFactory(distributed_catalog)
+        a = f.access_base("DEPT", {DNO, MGR}, set())
+        shipped = f.ship(a, "L.A.")
+        filtered = f.filter(shipped, {mgr_pred})
+        text = render_functional(filtered)
+        assert "SHIP(to L.A." in text
+        assert "FILTER(" in text

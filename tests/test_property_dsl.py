@@ -1,0 +1,117 @@
+"""Property-based round-trip of the rule DSL.
+
+Randomly generated rule sets must (1) parse, (2) pretty-print, and
+(3) re-parse to structurally identical definitions — `StarDef.__str__`
+is the DSL's canonical form.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.stars.ast import (
+    Alternative,
+    Argument,
+    Call,
+    Compare,
+    Const,
+    ForAll,
+    Param,
+    RequiredSpec,
+    RuleSet,
+    SetExpr,
+    StarDef,
+    StarRef,
+)
+from repro.stars.dsl import parse_rules
+
+names = st.sampled_from(["T", "C", "P", "T1", "T2"])
+star_names = st.sampled_from(["Alpha", "Beta", "Gamma"])
+fn_names = st.sampled_from(["nonempty", "join_preds", "cols_of", "needed_cols"])
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth >= 2:
+        return draw(st.one_of(
+            names.map(Param),
+            st.just(Const(frozenset())),
+            st.integers(0, 9).map(Const),
+        ))
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return draw(names.map(Param))
+    if choice == 1:
+        name = draw(fn_names)
+        args = draw(st.lists(exprs(depth=depth + 1), max_size=2))
+        return Call(name, tuple(args))
+    if choice == 2:
+        op = draw(st.sampled_from(["|", "&", "-"]))
+        return SetExpr(op, draw(exprs(depth=depth + 1)), draw(exprs(depth=depth + 1)))
+    op = draw(st.sampled_from(["==", "!=", "<="]))
+    return Compare(op, draw(exprs(depth=depth + 1)), draw(exprs(depth=depth + 1)))
+
+
+@st.composite
+def terms(draw, depth=0):
+    if depth >= 1 or draw(st.booleans()):
+        args = draw(st.lists(
+            exprs(depth=2).map(Argument), min_size=1, max_size=3
+        ))
+        return StarRef("ACCESS", tuple(args))
+    var = draw(st.sampled_from(["i", "s"]))
+    return ForAll(var, draw(exprs(depth=1)), draw(terms(depth=depth + 1)))
+
+
+@st.composite
+def star_defs(draw, name):
+    params = draw(st.lists(names, min_size=1, max_size=3, unique=True))
+    n_alts = draw(st.integers(1, 3))
+    exclusive = draw(st.booleans())
+    alternatives = []
+    for index in range(n_alts):
+        condition = draw(st.one_of(st.none(), exprs(depth=1)))
+        otherwise = False
+        if exclusive and index == n_alts - 1 and condition is None:
+            otherwise = draw(st.booleans())
+        alternatives.append(
+            Alternative(
+                term=draw(terms()),
+                condition=None if otherwise else condition,
+                otherwise=otherwise,
+            )
+        )
+    # Only reference bound parameters: rebuild param refs from the list.
+    return StarDef(
+        name=name,
+        params=tuple(params),
+        alternatives=tuple(alternatives),
+        exclusive=exclusive,
+    )
+
+
+def _normalize(star: StarDef) -> tuple:
+    return (
+        star.name,
+        star.params,
+        star.exclusive,
+        tuple(str(a) for a in star.alternatives),
+        tuple((n, str(e)) for n, e in star.bindings),
+    )
+
+
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_dsl_roundtrip(data):
+    star = data.draw(star_defs("Alpha"))
+    text = str(star)
+    reparsed = parse_rules(text).get("Alpha")
+    assert _normalize(reparsed) == _normalize(star)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_dsl_roundtrip_is_fixpoint(data):
+    """Printing a reparsed STAR yields identical text (canonical form)."""
+    star = data.draw(star_defs("Beta"))
+    once = str(parse_rules(str(star)).get("Beta"))
+    twice = str(parse_rules(once).get("Beta"))
+    assert once == twice

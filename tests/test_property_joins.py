@@ -1,0 +1,119 @@
+"""Property-based equivalence of the three join run-time routines.
+
+For randomly generated tiny tables, NL, MG and HA joins must produce the
+same multiset of (L.K, R.W) pairs as the set-comprehension definition of
+an equi-join — the invariant behind the whole optimizer: join method
+choice never changes the answer.
+"""
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.catalog import Catalog, TableDef
+from repro.catalog.catalog import make_columns
+from repro.cost.propfuncs import PlanFactory
+from repro.executor import QueryExecutor
+from repro.query.expressions import ColumnRef
+from repro.query.parser import parse_predicate
+from repro.storage import Database
+
+L_K = ColumnRef("L", "K")
+L_V = ColumnRef("L", "V")
+R_K = ColumnRef("R", "K")
+R_W = ColumnRef("R", "W")
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 50)), min_size=0, max_size=25
+)
+
+
+def build(left_rows, right_rows):
+    cat = Catalog()
+    cat.add_table(TableDef("L", make_columns("K", "V")))
+    cat.add_table(TableDef("R", make_columns("K", "W")))
+    db = Database(cat)
+    db.create_storage("L")
+    db.create_storage("R")
+    db.load("L", left_rows)
+    db.load("R", right_rows)
+    db.analyze_all()
+    return cat, db
+
+
+def expected_pairs(left_rows, right_rows):
+    return Counter(
+        (lk, rw) for lk, _ in left_rows for rk, rw in right_rows if lk == rk
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(left=rows_strategy, right=rows_strategy)
+def test_join_flavors_agree_with_definition(left, right):
+    cat, db = build(left, right)
+    factory = PlanFactory(cat)
+    executor = QueryExecutor(db)
+    pred = parse_predicate("L.K = R.K", cat, ("L", "R"))
+    expected = expected_pairs(left, right)
+
+    for flavor in ("NL", "HA", "MG"):
+        outer = factory.access_base("L", {L_K, L_V}, set())
+        inner = factory.access_base("R", {R_K, R_W}, set())
+        if flavor == "MG":
+            outer = factory.sort(outer, (L_K,))
+            inner = factory.sort(inner, (R_K,))
+        plan = factory.join(flavor, outer, inner, {pred})
+        rows, _ = executor.run_plan(plan)
+        got = Counter((row[L_K], row[R_W]) for row in rows)
+        assert got == expected, flavor
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(left=rows_strategy, right=rows_strategy)
+def test_join_commutes(left, right):
+    """Swapping outer and inner changes cost, never the answer."""
+    cat, db = build(left, right)
+    factory = PlanFactory(cat)
+    executor = QueryExecutor(db)
+    pred = parse_predicate("L.K = R.K", cat, ("L", "R"))
+
+    def run(outer_table):
+        l_scan = factory.access_base("L", {L_K, L_V}, set())
+        r_scan = factory.access_base("R", {R_K, R_W}, set())
+        outer, inner = (l_scan, r_scan) if outer_table == "L" else (r_scan, l_scan)
+        rows, _ = executor.run_plan(factory.join("HA", outer, inner, {pred}))
+        return Counter((row[L_K], row[R_W]) for row in rows)
+
+    assert run("L") == run("R")
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(left=rows_strategy, right=rows_strategy)
+def test_materialized_inner_equivalent(left, right):
+    """STORE + re-ACCESS of the inner is execution-transparent."""
+    cat, db = build(left, right)
+    factory = PlanFactory(cat)
+    executor = QueryExecutor(db)
+    pred = parse_predicate("L.K = R.K", cat, ("L", "R"))
+
+    outer = factory.access_base("L", {L_K, L_V}, set())
+    plain = factory.access_base("R", {R_K, R_W}, {pred})
+    temp = factory.access_temp(
+        factory.store(factory.access_base("R", {R_K, R_W}, set())), preds={pred}
+    )
+    rows_plain, _ = executor.run_plan(factory.join("NL", outer, plain, {pred}))
+    rows_temp, _ = executor.run_plan(factory.join("NL", outer, temp, {pred}))
+    key = lambda rows: Counter((r[L_K], r[R_W]) for r in rows)
+    assert key(rows_plain) == key(rows_temp)

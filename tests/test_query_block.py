@@ -1,0 +1,103 @@
+"""Unit tests for QueryBlock's derived views used by the optimizer."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.expressions import ColumnRef
+from repro.query.parser import parse_query
+from repro.query.query import OrderItem, QueryBlock, SelectItem
+
+
+def q(catalog, sql):
+    return parse_query(sql, catalog)
+
+
+class TestValidation:
+    def test_needs_tables(self):
+        with pytest.raises(QueryError):
+            QueryBlock(tables=(), select=(SelectItem(ColumnRef("A", "X"), "X"),))
+
+    def test_duplicate_tables_rejected(self, catalog):
+        with pytest.raises(QueryError, match="duplicate"):
+            QueryBlock(
+                tables=("EMP", "EMP"),
+                select=(SelectItem(ColumnRef("EMP", "ENO"), "ENO"),),
+            )
+
+    def test_projection_tables_must_be_known(self, catalog):
+        with pytest.raises(QueryError, match="unknown tables"):
+            QueryBlock(
+                tables=("EMP",),
+                select=(SelectItem(ColumnRef("DEPT", "DNO"), "DNO"),),
+            )
+
+    def test_predicate_tables_must_be_known(self, catalog, join_pred):
+        with pytest.raises(QueryError, match="unknown tables"):
+            QueryBlock(
+                tables=("EMP",),
+                select=(SelectItem(ColumnRef("EMP", "ENO"), "ENO"),),
+                predicates=(join_pred,),
+            )
+
+    def test_order_by_table_must_be_known(self, catalog):
+        with pytest.raises(QueryError, match="ORDER BY"):
+            QueryBlock(
+                tables=("EMP",),
+                select=(SelectItem(ColumnRef("EMP", "ENO"), "ENO"),),
+                order_by=(OrderItem(ColumnRef("DEPT", "DNO")),),
+            )
+
+
+class TestDerivedViews:
+    def test_columns_for_table_includes_predicates(self, catalog, fig1_query):
+        cols = fig1_query.columns_for_table("EMP")
+        assert ColumnRef("EMP", "DNO") in cols  # from the join predicate
+        assert ColumnRef("EMP", "NAME") in cols  # from the projection
+        assert ColumnRef("EMP", "ENO") not in cols
+
+    def test_single_table_predicates(self, catalog, fig1_query):
+        dept = fig1_query.single_table_predicates("DEPT")
+        assert len(dept) == 1
+        assert next(iter(dept)).tables() == {"DEPT"}
+        assert fig1_query.single_table_predicates("EMP") == frozenset()
+
+    def test_eligible_predicates_newly_covered_only(self, catalog, fig1_query):
+        eligible = fig1_query.eligible_predicates(
+            frozenset({"DEPT"}), frozenset({"EMP"})
+        )
+        assert len(eligible) == 1  # the join predicate, not MGR='Haas'
+
+    def test_eligible_predicates_excludes_side_local(self, catalog):
+        query = q(
+            catalog,
+            "SELECT NAME FROM DEPT, EMP "
+            "WHERE DEPT.DNO = EMP.DNO AND EMP.ENO > 5",
+        )
+        eligible = query.eligible_predicates(frozenset({"DEPT"}), frozenset({"EMP"}))
+        assert all(len(p.tables()) == 2 for p in eligible)
+
+    def test_join_graph_edges(self, catalog, fig1_query):
+        assert fig1_query.join_graph_edges() == {frozenset({"DEPT", "EMP"})}
+
+    def test_interesting_order_columns(self, catalog):
+        query = q(
+            catalog,
+            "SELECT NAME FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO ORDER BY NAME",
+        )
+        interesting = query.interesting_order_columns()
+        assert ColumnRef("DEPT", "DNO") in interesting
+        assert ColumnRef("EMP", "DNO") in interesting
+        assert ColumnRef("EMP", "NAME") in interesting
+        assert ColumnRef("EMP", "ADDRESS") not in interesting
+
+    def test_required_order(self, catalog):
+        query = q(catalog, "SELECT NAME FROM EMP ORDER BY NAME, ENO")
+        assert query.required_order() == (
+            ColumnRef("EMP", "NAME"),
+            ColumnRef("EMP", "ENO"),
+        )
+
+    def test_output_vs_referenced_columns(self, catalog, fig1_query):
+        out = fig1_query.output_columns()
+        referenced = fig1_query.referenced_columns()
+        assert out < referenced  # predicates reference DNO columns too

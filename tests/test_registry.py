@@ -1,0 +1,144 @@
+"""Unit tests for the condition/argument function registry."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.plans.sap import Stream
+from repro.query.expressions import ColumnRef
+from repro.query.parser import parse_predicate, parse_query
+from repro.stars.engine import StarEngine
+from repro.stars.builtin_rules import default_rules
+from repro.stars.registry import (
+    FunctionRegistry,
+    default_registry,
+    fn_candidate_sites,
+    fn_covering,
+    fn_index_cols,
+    fn_index_preds,
+    fn_local_query,
+    fn_matching_indexes,
+    fn_merge_cols,
+    fn_needs_temp,
+    fn_prefix_matches,
+)
+from repro.plans.properties import requirements
+
+DNO = ColumnRef("DEPT", "DNO")
+E_DNO = ColumnRef("EMP", "DNO")
+E_NAME = ColumnRef("EMP", "NAME")
+
+
+def ctx_for(catalog, sql="SELECT NAME, MGR FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO"):
+    engine = StarEngine(default_rules(), catalog, parse_query(sql, catalog))
+    return engine.ctx
+
+
+class TestRegistryObject:
+    def test_register_and_get(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda ctx: 1)
+        assert registry.get("f")(None) == 1
+        assert registry.has("f")
+
+    def test_duplicate_registration_rejected(self):
+        registry = FunctionRegistry()
+        registry.register("f", lambda ctx: 1)
+        with pytest.raises(RuleError, match="already registered"):
+            registry.register("f", lambda ctx: 2)
+        registry.register("f", lambda ctx: 2, replace=True)
+        assert registry.get("f")(None) == 2
+
+    def test_unknown_function(self):
+        with pytest.raises(RuleError, match="unknown rule function"):
+            FunctionRegistry().get("nope")
+
+    def test_default_registry_is_a_copy(self):
+        a, b = default_registry(), default_registry()
+        a.register("session_only", lambda ctx: 1)
+        assert not b.has("session_only")
+
+    def test_default_registry_has_paper_functions(self):
+        names = default_registry().names()
+        for expected in (
+            "local_query", "candidate_sites", "needs_temp", "join_preds",
+            "sortable_preds", "hashable_preds", "indexable_preds",
+            "inner_preds", "merge_cols", "index_cols",
+        ):
+            assert expected in names
+
+
+class TestSiteFunctions:
+    def test_local_query_true_when_all_local(self, catalog):
+        assert fn_local_query(ctx_for(catalog))
+
+    def test_local_query_false_when_distributed(self, distributed_catalog):
+        assert not fn_local_query(ctx_for(distributed_catalog))
+
+    def test_candidate_sites(self, distributed_catalog):
+        sites = fn_candidate_sites(ctx_for(distributed_catalog))
+        assert set(sites) == {"N.Y.", "L.A."}
+
+    def test_needs_temp_composite(self, catalog):
+        ctx = ctx_for(catalog)
+        assert fn_needs_temp(ctx, Stream(frozenset({"DEPT", "EMP"})))
+
+    def test_needs_temp_site_mismatch(self, distributed_catalog):
+        ctx = ctx_for(distributed_catalog)
+        dept = Stream(frozenset({"DEPT"}))  # stored at N.Y.
+        assert not fn_needs_temp(ctx, dept)
+        assert fn_needs_temp(ctx, dept.require(requirements(site="L.A.")))
+        assert not fn_needs_temp(ctx, dept.require(requirements(site="N.Y.")))
+
+
+class TestOrderingHelpers:
+    def test_merge_cols_pairs_deterministically(self, catalog):
+        p1 = parse_predicate("DEPT.DNO = EMP.DNO", catalog, ("DEPT", "EMP"))
+        sp = frozenset({p1})
+        outer = fn_merge_cols(None, sp, Stream(frozenset({"DEPT"})))
+        inner = fn_merge_cols(None, sp, Stream(frozenset({"EMP"})))
+        assert outer == (DNO,)
+        assert inner == (E_DNO,)
+
+    def test_merge_cols_multi_pred_alignment(self, catalog):
+        cat = catalog
+        p1 = parse_predicate("DEPT.DNO = EMP.DNO", cat, ("DEPT", "EMP"))
+        p2 = parse_predicate("DEPT.MGR = EMP.NAME", cat, ("DEPT", "EMP"))
+        sp = frozenset({p1, p2})
+        outer = fn_merge_cols(None, sp, Stream(frozenset({"DEPT"})))
+        inner = fn_merge_cols(None, sp, Stream(frozenset({"EMP"})))
+        # Pairwise alignment: position i of outer joins position i of inner.
+        pairs = set(zip(outer, inner))
+        assert (DNO, E_DNO) in pairs
+        assert (ColumnRef("DEPT", "MGR"), E_NAME) in pairs
+
+    def test_index_cols_equality_first(self, catalog):
+        eq = parse_predicate("DEPT.DNO = EMP.DNO", catalog, ("DEPT", "EMP"))
+        rng = parse_predicate("EMP.ENO < DEPT.DNO", catalog, ("DEPT", "EMP"))
+        ix = fn_index_cols(None, frozenset(), frozenset({eq, rng}), Stream(frozenset({"EMP"})))
+        assert ix[0] == E_DNO  # '=' predicate columns first
+
+    def test_prefix_matches(self, catalog):
+        path = catalog.path("EMP", "EMP_DNO")
+        assert fn_prefix_matches(None, (E_DNO,), path)
+        assert not fn_prefix_matches(None, (E_NAME,), path)
+
+
+class TestAccessHelpers:
+    def test_matching_indexes(self, catalog):
+        ctx = ctx_for(catalog)
+        paths = fn_matching_indexes(ctx, "EMP")
+        assert [p.name for p in paths] == ["EMP_DNO"]
+        assert fn_matching_indexes(ctx, "DEPT") == ()
+
+    def test_index_preds_key_columns_only(self, catalog):
+        path = catalog.path("EMP", "EMP_DNO")
+        on_key = parse_predicate("EMP.DNO = 3", catalog, ("EMP",))
+        off_key = parse_predicate("EMP.NAME = 'x'", catalog, ("EMP",))
+        got = fn_index_preds(None, path, frozenset({on_key, off_key}))
+        assert got == {on_key}
+
+    def test_covering(self, catalog):
+        ctx = ctx_for(catalog)
+        path = catalog.path("EMP", "EMP_DNO")
+        assert fn_covering(ctx, path, frozenset({E_DNO}), frozenset())
+        assert not fn_covering(ctx, path, frozenset({E_NAME}), frozenset())

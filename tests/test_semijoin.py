@@ -1,0 +1,195 @@
+"""Tests for the semijoin filtration strategy (the paper's omitted
+"filtration methods such as semi-joins and Bloom-joins" [BERN 81]),
+shipped as optional rule data on top of a PROJECT LOLEPOP and a hash
+semijoin (SJ) flavor of JOIN."""
+
+import pytest
+
+from repro.catalog import Catalog, ColumnStats, TableDef, TableStats
+from repro.catalog.catalog import make_columns
+from repro.cost.propfuncs import PlanFactory
+from repro.errors import ReproError
+from repro.executor import QueryExecutor, naive_evaluate
+from repro.optimizer import StarburstOptimizer
+from repro.plans.operators import JOIN, PROJECT, SHIP
+from repro.query.expressions import ColumnRef
+from repro.query.parser import parse_predicate, parse_query
+from repro.stars.builtin_rules import extended_rules
+from repro.storage import Database
+from repro.workloads.paper import figure1_query, paper_catalog, paper_database
+
+L_K = ColumnRef("L", "K")
+L_V = ColumnRef("L", "V")
+R_K = ColumnRef("R", "K")
+R_W = ColumnRef("R", "W")
+
+
+def semijoin_plans(plans):
+    return [
+        p
+        for p in plans
+        if any(n.op == JOIN and n.flavor == "SJ" for n in p.nodes())
+    ]
+
+
+@pytest.fixture()
+def local_env():
+    cat = Catalog()
+    cat.add_table(TableDef("L", make_columns("K", "V")))
+    cat.add_table(TableDef("R", make_columns("K", "W")))
+    db = Database(cat)
+    db.create_storage("L")
+    db.create_storage("R")
+    db.load("L", [(k, k * 10) for k in range(8)])
+    db.load("R", [(k % 4, k) for k in range(12)])
+    db.analyze_all()
+    return cat, db
+
+
+class TestSemijoinOperator:
+    def test_emits_each_match_once(self, local_env):
+        cat, db = local_env
+        factory = PlanFactory(cat)
+        pred = parse_predicate("L.K = R.K", cat, ("L", "R"))
+        # Semijoin R (3 rows per key 0..3) by L's keys 0..7.
+        outer = factory.access_base("R", {R_K, R_W}, set())
+        inner = factory.access_base("L", {L_K}, set())
+        plan = factory.join("SJ", outer, inner, {pred})
+        rows, _ = QueryExecutor(db).run_plan(plan)
+        # Every R row has a matching L key, each emitted exactly once.
+        assert len(rows) == 12
+
+    def test_filters_unmatched(self, local_env):
+        cat, db = local_env
+        factory = PlanFactory(cat)
+        pred = parse_predicate("L.K = R.K", cat, ("L", "R"))
+        # Semijoin L (keys 0..7) by R's keys 0..3.
+        outer = factory.access_base("L", {L_K, L_V}, set())
+        inner = factory.access_base("R", {R_K}, set())
+        plan = factory.join("SJ", outer, inner, {pred})
+        rows, _ = QueryExecutor(db).run_plan(plan)
+        assert sorted(row[L_K] for row in rows) == [0, 1, 2, 3]
+
+    def test_properties_stay_outer(self, local_env):
+        cat, _ = local_env
+        factory = PlanFactory(cat)
+        pred = parse_predicate("L.K = R.K", cat, ("L", "R"))
+        outer = factory.access_base("L", {L_K, L_V}, set())
+        inner = factory.access_base("R", {R_K}, set())
+        plan = factory.join("SJ", outer, inner, {pred})
+        assert plan.props.tables == {"L"}
+        assert plan.props.cols == {L_K, L_V}
+        assert plan.props.card <= outer.props.card + 1e-9
+
+    def test_without_hashable_pred_raises_at_runtime(self, local_env):
+        cat, db = local_env
+        factory = PlanFactory(cat)
+        pred = parse_predicate("L.K < R.K", cat, ("L", "R"))
+        plan = factory.join(
+            "SJ",
+            factory.access_base("L", {L_K}, set()),
+            factory.access_base("R", {R_K}, set()),
+            {pred},
+        )
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError, match="hashable"):
+            QueryExecutor(db).run_plan(plan)
+
+
+class TestProjectOperator:
+    def test_narrows_columns(self, local_env):
+        cat, db = local_env
+        factory = PlanFactory(cat)
+        scan = factory.access_base("L", {L_K, L_V}, set())
+        plan = factory.project(scan, {L_K})
+        rows, _ = QueryExecutor(db).run_plan(plan)
+        assert all(set(row) == {L_K} for row in rows)
+        assert plan.props.cols == {L_K}
+
+    def test_requires_subset(self, local_env):
+        cat, _ = local_env
+        factory = PlanFactory(cat)
+        scan = factory.access_base("L", {L_K}, set())
+        with pytest.raises(ReproError, match="not in the stream"):
+            factory.project(scan, {L_V})
+
+    def test_order_truncated_at_dropped_column(self, local_env):
+        cat, _ = local_env
+        factory = PlanFactory(cat)
+        scan = factory.sort(factory.access_base("L", {L_K, L_V}, set()), (L_V, L_K))
+        plan = factory.project(scan, {L_K})
+        assert plan.props.order == ()  # leading order column was dropped
+
+
+class TestSemijoinRules:
+    @pytest.fixture()
+    def distributed(self):
+        cat = paper_catalog(distributed=True, dept_rows=40, emp_rows=1200)
+        db = paper_database(cat)
+        return cat, db
+
+    def test_generated_for_remote_inner(self, distributed):
+        cat, db = distributed
+        result = StarburstOptimizer(
+            cat, rules=extended_rules(semijoin=True)
+        ).optimize(figure1_query(cat))
+        plans = semijoin_plans(result.engine.plan_table.all_plans())
+        assert plans
+
+    def test_shape_matches_bernstein_pattern(self, distributed):
+        """project → ship → semijoin at home → ship survivors → join."""
+        cat, db = distributed
+        result = StarburstOptimizer(
+            cat, rules=extended_rules(semijoin=True)
+        ).optimize(figure1_query(cat))
+        plan = semijoin_plans(result.engine.plan_table.all_plans())[0]
+        sj = next(n for n in plan.nodes() if n.flavor == "SJ")
+        # The filter source is a shipped projection.
+        filter_source = sj.inputs[1]
+        ops = [n.op for n in filter_source.nodes()]
+        assert ops[0] == SHIP
+        assert PROJECT in ops
+        # The semijoin happens at the inner's home site.
+        assert sj.props.site == cat.table("EMP").site
+
+    def test_not_generated_for_local_query(self):
+        cat = paper_catalog(distributed=False)
+        paper_database(cat)
+        result = StarburstOptimizer(
+            cat, rules=extended_rules(semijoin=True)
+        ).optimize(figure1_query(cat))
+        assert not semijoin_plans(result.engine.plan_table.all_plans())
+
+    def test_answers_unchanged(self, distributed):
+        cat, db = distributed
+        query = figure1_query(cat)
+        result = StarburstOptimizer(
+            cat, rules=extended_rules(semijoin=True)
+        ).optimize(query)
+        executor = QueryExecutor(db)
+        reference = naive_evaluate(query, db).as_multiset()
+        for plan in result.alternatives:
+            assert executor.run(query, plan).as_multiset() == reference
+
+    def test_wins_when_join_is_selective_and_inner_remote(self):
+        """A big remote inner with few matching rows: shipping the
+        semijoin-reduced inner beats shipping it whole."""
+        cat = Catalog(query_site="HQ")
+        cat.add_site("FAR")
+        cat.add_table(
+            TableDef("O", make_columns("K", "V"), site="HQ"), TableStats(card=50)
+        )
+        cat.add_table(
+            TableDef("I", make_columns("K", ("PAY", "str")), site="FAR"),
+            TableStats(card=50_000),
+        )
+        cat.set_column_stats("O", "K", ColumnStats(n_distinct=50, low=0, high=50_000))
+        cat.set_column_stats("I", "K", ColumnStats(n_distinct=50_000, low=0, high=50_000))
+        sql = "SELECT O.V, I.PAY FROM O, I WHERE O.K = I.K"
+        without = StarburstOptimizer(cat, rules=extended_rules()).optimize(sql)
+        with_sj = StarburstOptimizer(
+            cat, rules=extended_rules(semijoin=True)
+        ).optimize(sql)
+        assert with_sj.best_cost < without.best_cost
+        assert semijoin_plans([with_sj.best_plan])

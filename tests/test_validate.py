@@ -1,0 +1,149 @@
+"""Unit tests for the rule-set validator (the paper's open issue)."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.stars.builtin_rules import default_rules, extended_rules
+from repro.stars.dsl import parse_rules
+from repro.stars.registry import default_registry
+from repro.stars.validate import validate_rules
+
+
+def validate(text, registry=None):
+    return validate_rules(parse_rules(text), registry or default_registry())
+
+
+class TestCleanRuleSets:
+    def test_builtin_rules_valid(self):
+        report = validate_rules(default_rules(), default_registry())
+        assert report.ok
+        assert report.warnings == []
+
+    def test_extended_rules_valid(self):
+        report = validate_rules(extended_rules(), default_registry())
+        assert report.ok
+
+
+class TestReferenceChecks:
+    def test_undefined_star_reported(self):
+        report = validate("star S(T) { alt -> Missing(T, T); }")
+        assert not report.ok
+        assert any("Missing" in e for e in report.errors)
+
+    def test_arity_mismatch_reported(self):
+        report = validate(
+            """
+            star S(T) { alt -> Sub(T, T); }
+            star Sub(T) { alt -> ACCESS(T, {}, {}); }
+            """
+        )
+        assert any("argument" in e for e in report.errors)
+
+    def test_unknown_function_reported(self):
+        report = validate("star S(T) { alt if frobnicate(T) -> ACCESS(T, {}, {}); }")
+        assert any("frobnicate" in e for e in report.errors)
+
+    def test_unbound_parameter_reported(self):
+        report = validate("star S(T) { alt -> ACCESS(T, C, {}); }")
+        assert any("unbound" in e for e in report.errors)
+
+    def test_forall_variable_is_bound(self):
+        report = validate(
+            "star S(T) { alt -> forall i in matching_indexes(T): ACCESS(i, {}, {}); }"
+        )
+        assert report.ok
+
+    def test_where_bindings_are_bound(self):
+        report = validate(
+            """
+            star S(P) {
+                where JP = join_preds(P);
+                alt -> ACCESS('T', {}, JP);
+            }
+            """
+        )
+        assert report.ok
+
+    def test_join_without_flavor_reported(self):
+        from repro.stars.ast import Alternative, Argument, Param, RuleSet, StarDef, StarRef
+
+        rules = RuleSet(
+            (
+                StarDef(
+                    "S",
+                    ("A", "B", "P"),
+                    (
+                        Alternative(
+                            StarRef(
+                                "JOIN",
+                                (Argument(Param("A")), Argument(Param("B")),
+                                 Argument(Param("P")), Argument(Param("P"))),
+                                flavor=None,
+                            )
+                        ),
+                    ),
+                ),
+            )
+        )
+        report = validate_rules(rules, default_registry())
+        assert any("flavor" in e for e in report.errors)
+
+
+class TestCycleDetection:
+    def test_direct_cycle(self):
+        report = validate(
+            """
+            star A(T) { alt -> B(T); }
+            star B(T) { alt -> A(T); }
+            """
+        )
+        assert any("cyclic" in e for e in report.errors)
+
+    def test_self_cycle(self):
+        report = validate("star A(T) { alt -> A(T); }")
+        assert any("cyclic" in e for e in report.errors)
+
+    def test_glue_access_root_edge_detected(self):
+        # AccessRoot -> Glue would be a cycle through Glue's implicit
+        # re-reference of AccessRoot.
+        report = validate(
+            """
+            star AccessRoot(T, C, P) { alt -> Glue(T, P); }
+            """
+        )
+        assert any("cyclic" in e for e in report.errors)
+
+    def test_dag_is_fine(self):
+        report = validate(
+            """
+            star A(T) { alt -> B(T); alt -> C(T); }
+            star B(T) { alt -> C(T); }
+            star C(T) { alt -> ACCESS(T, {}, {}); }
+            """
+        )
+        assert report.ok
+
+
+class TestWarningsAndRaise:
+    def test_shadowing_warned(self):
+        registry = default_registry()
+        registry.register("S", lambda ctx: 1)
+        report = validate("star S(T) { alt -> ACCESS(T, {}, {}); }", registry)
+        assert report.ok
+        assert any("shadows" in w for w in report.warnings)
+
+    def test_raise_on_error(self):
+        with pytest.raises(RuleError, match="invalid rule set"):
+            validate_rules(
+                parse_rules("star S(T) { alt -> Missing(T); }"),
+                default_registry(),
+                raise_on_error=True,
+            )
+
+    def test_optimizer_validates_at_construction(self, catalog):
+        from repro.optimizer import StarburstOptimizer
+
+        with pytest.raises(RuleError):
+            StarburstOptimizer(
+                catalog, rules=parse_rules("star S(T) { alt -> Missing(T); }")
+            )

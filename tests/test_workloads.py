@@ -1,0 +1,116 @@
+"""Unit tests for workload generation (paper scenario + synthetic)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.workloads import (
+    WorkloadSpec,
+    chain_workload,
+    clique_workload,
+    figure1_query,
+    paper_catalog,
+    paper_database,
+    star_workload,
+    synthesize,
+)
+from repro.workloads.paper import with_proj
+
+
+class TestPaperWorkload:
+    def test_catalog_shape(self):
+        cat = paper_catalog()
+        assert cat.table("DEPT").column_names == ("DNO", "MGR", "BUDGET")
+        assert [p.name for p in cat.paths_for("EMP")] == ["EMP_DNO"]
+
+    def test_distributed_placement(self):
+        cat = paper_catalog(distributed=True)
+        assert cat.table("DEPT").site == "N.Y."
+        assert cat.table("EMP").site == "L.A."
+        assert cat.query_site == "L.A."
+
+    def test_data_deterministic(self):
+        cat1, cat2 = paper_catalog(), paper_catalog()
+        db1, db2 = paper_database(cat1), paper_database(cat2)
+        rows1 = [r for _, r in db1.table("EMP").scan()]
+        rows2 = [r for _, r in db2.table("EMP").scan()]
+        assert rows1 == rows2
+
+    def test_stats_collected(self, paper_db):
+        cat, db = paper_db
+        assert cat.table_stats("EMP").card == 2000
+        assert cat.column_stats("EMP", "DNO").n_distinct == 50
+
+    def test_haas_rows_exist(self, paper_db):
+        cat, db = paper_db
+        mgr_pos = db.table("DEPT").position(
+            __import__("repro.query.expressions", fromlist=["ColumnRef"]).ColumnRef("DEPT", "MGR")
+        )
+        managers = {row[mgr_pos] for _, row in db.table("DEPT").scan()}
+        assert "Haas" in managers
+
+    def test_figure1_query_parses(self):
+        cat = paper_catalog()
+        q = figure1_query(cat)
+        assert q.table_set == {"DEPT", "EMP"}
+
+    def test_with_proj_extends(self):
+        cat = paper_catalog()
+        db = paper_database(cat)
+        with_proj(cat, db, proj_rows=100)
+        assert cat.table_stats("PROJ").card == 100
+
+
+class TestSyntheticWorkloads:
+    def test_chain_shape(self):
+        wl = chain_workload(3, rows=50, seed=1)
+        assert wl.query.table_set == {"R0", "R1", "R2"}
+        assert len(wl.query.multi_table_predicates()) == 2
+        assert wl.query.join_graph_edges() == {
+            frozenset({"R0", "R1"}),
+            frozenset({"R1", "R2"}),
+        }
+
+    def test_star_shape(self):
+        wl = star_workload(4, rows=50, seed=1)
+        edges = wl.query.join_graph_edges()
+        assert all("R0" in edge for edge in edges)
+        # The fact table is larger than dimensions.
+        assert len(wl.database.table("R0")) == 200
+
+    def test_clique_shape(self):
+        wl = clique_workload(3, rows=30, seed=1)
+        assert len(wl.query.join_graph_edges()) == 3
+
+    def test_selection_knob(self):
+        with_sel = chain_workload(2, rows=50, seed=1, selection=0.2)
+        assert len(with_sel.query.single_table_predicates("R0")) == 1
+        without = chain_workload(2, rows=50, seed=1)
+        assert len(without.query.single_table_predicates("R0")) == 0
+
+    def test_sites_assigned_round_robin(self):
+        wl = chain_workload(4, rows=20, seed=1, n_sites=2)
+        sites = {wl.catalog.table(t).site for t in wl.query.tables}
+        assert sites == {"S0", "S1"}
+
+    def test_index_fraction_zero(self):
+        wl = chain_workload(3, rows=20, seed=1, index_fraction=0.0)
+        assert all(not wl.catalog.paths_for(t) for t in wl.query.tables)
+
+    def test_determinism(self):
+        a = chain_workload(3, rows=40, seed=9)
+        b = chain_workload(3, rows=40, seed=9)
+        rows_a = [r for _, r in a.database.table("R1").scan()]
+        rows_b = [r for _, r in b.database.table("R1").scan()]
+        assert rows_a == rows_b
+
+    def test_stats_analyzed(self):
+        wl = chain_workload(2, rows=60, seed=2)
+        assert wl.catalog.table_stats("R0").card == 60
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(QueryError):
+            WorkloadSpec(shape="lattice")
+
+    def test_synthesize_names(self):
+        wl = synthesize(WorkloadSpec(shape="star", n_tables=3, rows=10))
+        assert wl.name == "star-3x10"
