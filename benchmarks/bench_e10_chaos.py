@@ -1,0 +1,157 @@
+"""E10 — chaos tolerance: retries beat transient failures, SAPs beat
+site outages.
+
+The paper's SAP keeps alternative plans alive past optimization; R*'s
+distributed setting is one reason to want them at run time.  This
+experiment injects deterministic faults into the simulated network and
+measures two things:
+
+1. **Retry sweep** — the Figure-3 distributed query under per-attempt
+   transient SHIP-failure probability p, executed over many seeded runs
+   with and without bounded-retry: success rate and added (simulated)
+   backoff latency.  Retries must hold >= 95% success at p = 0.10 while
+   the no-retry executor visibly fails.
+2. **Failover demo** — DEPT replicated at S.F., the primary site N.Y.
+   killed on the very first transfer: the query must complete via a SAP
+   alternative (no re-optimization, no re-parse) and match the naive
+   evaluator.
+
+Both halves are deterministic: every random draw flows from fixed seeds.
+"""
+
+from repro.bench import Table, banner
+from repro.errors import NetworkError
+from repro.executor import (
+    ChaosConfig,
+    ChaosEngine,
+    QueryExecutor,
+    ResilientExecutor,
+    RetryPolicy,
+    naive_evaluate,
+)
+from repro.config import OptimizerConfig
+from repro.optimizer import StarburstOptimizer
+from repro.plans.plan import plan_sites
+from repro.workloads.paper import figure1_query, paper_catalog, paper_database
+
+#: Seeded runs per (probability, policy) cell.
+RUNS = 60
+PROBS = (0.0, 0.05, 0.10, 0.20, 0.30)
+
+
+def _sweep_cell(db, plan, prob: float, policy: RetryPolicy):
+    """Execute ``plan`` RUNS times under transient chaos; return
+    (successes, total retries, total simulated backoff seconds)."""
+    successes = retries = 0
+    backoff = 0.0
+    for seed in range(RUNS):
+        chaos = ChaosEngine(ChaosConfig(seed=seed, link_failure_prob=prob))
+        executor = QueryExecutor(db, chaos=chaos, retry=policy)
+        try:
+            _, stats = executor.run_plan(plan)
+        except NetworkError:
+            continue
+        successes += 1
+        retries += stats.ship_retries
+        backoff += stats.backoff_seconds
+    return successes, retries, backoff
+
+
+def run_experiment() -> str:
+    lines = [
+        banner(
+            "E10 — chaos-tolerant distributed execution",
+            "Bounded retries absorb transient link failures; the SAP "
+            "absorbs permanent site outages.",
+        )
+    ]
+
+    # -- part 1: transient-failure sweep, retries on vs off ----------------
+    cat = paper_catalog(distributed=True)
+    db = paper_database(cat)
+    result = StarburstOptimizer(cat).optimize(figure1_query(cat))
+    plan = result.best_plan
+
+    table = Table(
+        [
+            "link failure p",
+            "success (retry)",
+            "success (no retry)",
+            "retries",
+            "avg backoff s",
+        ]
+    )
+    success_at_10 = None
+    no_retry_at_10 = None
+    for prob in PROBS:
+        with_retry = _sweep_cell(db, plan, prob, RetryPolicy())
+        without = _sweep_cell(db, plan, prob, RetryPolicy.no_retries())
+        rate = with_retry[0] / RUNS
+        rate_no = without[0] / RUNS
+        if prob == 0.10:
+            success_at_10, no_retry_at_10 = rate, rate_no
+        table.add(
+            f"{prob:.2f}",
+            f"{with_retry[0]}/{RUNS} ({100 * rate:.0f}%)",
+            f"{without[0]}/{RUNS} ({100 * rate_no:.0f}%)",
+            with_retry[1],
+            f"{with_retry[2] / RUNS:.3f}",
+        )
+    lines.append(str(table))
+    lines.append("")
+    assert success_at_10 is not None and no_retry_at_10 is not None
+    lines.append(
+        f"at p=0.10: {100 * success_at_10:.0f}% success with retries vs "
+        f"{100 * no_retry_at_10:.0f}% without"
+    )
+
+    # -- part 2: SAP failover after a permanent site outage ----------------
+    rcat = paper_catalog(distributed=True, replicate_dept=True)
+    rdb = paper_database(rcat)
+    rquery = figure1_query(rcat)
+    optimizer = StarburstOptimizer(
+        rcat, config=OptimizerConfig(retain_site_diversity=True)
+    )
+    rresult = optimizer.optimize(rquery)
+    chaos = ChaosEngine(ChaosConfig(
+        seed=42,
+        site_outages=(("N.Y.", 1),),
+        protected_sites=frozenset({rcat.query_site}),
+    ))
+    rex = ResilientExecutor(rdb, optimizer, chaos=chaos)
+    rep = rex.run(rresult)
+    answer_ok = (
+        rep.result is not None
+        and rep.result.as_multiset() == naive_evaluate(rquery, rdb).as_multiset()
+    )
+    lines.append("")
+    lines.append("SAP failover demo (DEPT replicated at S.F., N.Y. killed "
+                 "at the first transfer):")
+    lines.append(rep.summary())
+    lines.append(f"answer matches naive evaluator: {answer_ok}")
+
+    failover_ok = (
+        rep.succeeded
+        and rep.sap_failovers == 1
+        and rep.replans == 0
+        and rep.final_plan is not None
+        and "N.Y." not in plan_sites(rep.final_plan)
+        and answer_ok
+    )
+    retry_ok = success_at_10 >= 0.95 and no_retry_at_10 < success_at_10
+    lines.append("")
+    lines.append(
+        "RESULT: "
+        + (
+            "CHAOS TOLERATED"
+            if retry_ok and failover_ok
+            else "CHAOS NOT TOLERATED"
+        )
+    )
+    return "\n".join(lines)
+
+
+def test_e10_chaos(benchmark, report):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    assert "RESULT: CHAOS TOLERATED" in text
+    report(text)

@@ -51,14 +51,27 @@ from repro.errors import (
     ExecutionError,
     ExpansionError,
     GlueError,
+    LinkError,
+    NetworkError,
     OptimizationError,
     ParseError,
     QueryError,
     ReproError,
     RuleError,
+    SiteUnavailableError,
     StorageError,
+    TransientNetworkError,
 )
-from repro.executor import QueryExecutor, naive_evaluate
+from repro.executor import (
+    ChaosConfig,
+    ChaosEngine,
+    ExecutionReport,
+    QueryExecutor,
+    ResilientExecutor,
+    RetryPolicy,
+    SimClock,
+    naive_evaluate,
+)
 from repro.optimizer import OptimizationResult, StarburstOptimizer
 from repro.plans import PlanNode, PropertyVector, Requirements, SAP, Stream
 from repro.plans.plan import render_functional, render_tree
@@ -74,6 +87,8 @@ __all__ = [
     "AccessPath",
     "Catalog",
     "CatalogError",
+    "ChaosConfig",
+    "ChaosEngine",
     "ColumnDef",
     "ColumnStats",
     "Cost",
@@ -81,8 +96,11 @@ __all__ = [
     "CostWeights",
     "Database",
     "ExecutionError",
+    "ExecutionReport",
     "ExpansionError",
     "GlueError",
+    "LinkError",
+    "NetworkError",
     "OptimizationError",
     "OptimizationResult",
     "OptimizerConfig",
@@ -94,9 +112,13 @@ __all__ = [
     "QueryExecutor",
     "ReproError",
     "Requirements",
+    "ResilientExecutor",
+    "RetryPolicy",
     "RuleError",
     "SAP",
+    "SimClock",
     "SiteDef",
+    "SiteUnavailableError",
     "StarEngine",
     "StarburstOptimizer",
     "StorageError",
@@ -104,6 +126,7 @@ __all__ = [
     "TableDef",
     "TableStats",
     "TransformationalOptimizer",
+    "TransientNetworkError",
     "default_rules",
     "extended_rules",
     "naive_evaluate",

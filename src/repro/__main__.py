@@ -7,6 +7,8 @@ Subcommands:
   built-in workload; ``--trace`` prints the STAR expansion trace.
 * ``rules`` — print the builtin rule repertoire, or statically validate
   a Database Customizer's rule file.
+* ``chaos`` — run the Figure-3 distributed query under deterministic
+  fault injection, with retries and SAP-driven plan failover.
 """
 
 from __future__ import annotations
@@ -15,9 +17,13 @@ import argparse
 import sys
 
 from repro import (
+    ChaosConfig,
+    ChaosEngine,
     OptimizerConfig,
     QueryExecutor,
     ReproError,
+    ResilientExecutor,
+    RetryPolicy,
     StarburstOptimizer,
     naive_evaluate,
     parse_rules,
@@ -106,6 +112,52 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Optimize the Figure-3 query (DEPT replicated at S.F.), then execute
+    it under fault injection with SAP failover."""
+    links = []
+    for spec in args.kill_link:
+        a, sep, b = spec.partition(":")
+        if not sep or not a or not b:
+            print(f"error: --kill-link expects FROM:TO, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        links.append((a, b))
+
+    catalog = paper_catalog(distributed=True, replicate_dept=True)
+    database = paper_database(catalog)
+    query = figure1_query(catalog)
+    optimizer = StarburstOptimizer(
+        catalog, config=OptimizerConfig(retain_site_diversity=True)
+    )
+    result = optimizer.optimize(query)
+    print(f"query: {result.query}")
+    print(f"alternatives surviving: {len(result.alternatives)}")
+    print(render_tree(result.best_plan, show_properties=True))
+
+    site_outages = tuple((site, args.kill_at) for site in args.kill_site)
+    link_outages = tuple((link, args.kill_at) for link in links)
+    chaos = ChaosEngine(ChaosConfig(
+        seed=args.seed,
+        link_failure_prob=args.link_failure_prob,
+        site_failure_prob=args.site_failure_prob,
+        site_outages=site_outages,
+        link_outages=link_outages,
+        protected_sites=frozenset({catalog.query_site}),
+    ))
+    retry = RetryPolicy.no_retries() if args.no_retries else RetryPolicy()
+    executor = ResilientExecutor(database, optimizer, chaos=chaos, retry=retry)
+    report = executor.run(result)
+    print()
+    print(report.summary())
+    if report.result is not None:
+        reference = naive_evaluate(query, database)
+        ok = report.result.as_multiset() == reference.as_multiset()
+        print("differential check vs naive evaluator:", "PASS" if ok else "FAIL")
+        return 0 if ok else 1
+    return 1
+
+
 def cmd_rules(args: argparse.Namespace) -> int:
     registry = default_registry()
     if args.validate is not None:
@@ -160,6 +212,25 @@ def main(argv: list[str] | None = None) -> int:
     rules.add_argument("--extend-builtin", action="store_true",
                        help="validate FILE as an extension of the builtin rules")
     rules.set_defaults(fn=cmd_rules)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the distributed demo under fault injection with failover",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="chaos RNG seed")
+    chaos.add_argument("--link-failure-prob", type=float, default=0.0,
+                       help="per-attempt transient SHIP failure probability")
+    chaos.add_argument("--site-failure-prob", type=float, default=0.0,
+                       help="per-attempt random permanent site outage probability")
+    chaos.add_argument("--kill-site", action="append", default=[],
+                       metavar="SITE", help="schedule a permanent site outage")
+    chaos.add_argument("--kill-link", action="append", default=[],
+                       metavar="FROM:TO", help="schedule a permanent link outage")
+    chaos.add_argument("--kill-at", type=int, default=1,
+                       help="transfer attempt at which scheduled outages fire")
+    chaos.add_argument("--no-retries", action="store_true",
+                       help="fail transfers on their first transient error")
+    chaos.set_defaults(fn=cmd_chaos)
 
     args = parser.parse_args(argv)
     try:

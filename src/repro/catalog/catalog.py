@@ -31,6 +31,8 @@ class Catalog:
         self._sites: dict[str, SiteDef] = {SiteDef(query_site).name: SiteDef(query_site)}
         self._table_stats: dict[str, TableStats] = {}
         self._column_stats: dict[tuple[str, str], ColumnStats] = {}
+        self._replicas: dict[str, set[str]] = {}
+        self._down_sites: set[str] = set()
         self.query_site = query_site
         self.page_size = page_size
 
@@ -84,6 +86,59 @@ class Catalog:
             del self._paths[table][name]
         except KeyError:
             raise CatalogError(f"no access path {name} on table {table}") from None
+
+    def add_replica(self, table: str, site: SiteDef | str) -> None:
+        """Register a full replica of ``table`` at ``site``.
+
+        Replicas mirror the primary's rows and access paths, so the
+        optimizer may ACCESS whichever copy is cheapest (R*'s replicated
+        tables) — and the Set of Alternative Plans then holds plans that
+        survive an outage of the primary's site.
+        """
+        tdef = self.table(table)
+        site = self.add_site(site)
+        if site.name == tdef.site:
+            raise CatalogError(
+                f"table {table} is already stored at its primary site {site.name}"
+            )
+        self._replicas.setdefault(table, set()).add(site.name)
+
+    def storage_sites(self, table: str) -> tuple[str, ...]:
+        """Every site holding a copy of ``table``: primary first, then
+        replicas in name order."""
+        primary = self.table(table).site
+        replicas = sorted(self._replicas.get(table, ()))
+        return (primary, *replicas)
+
+    def reachable_storage_sites(self, table: str) -> tuple[str, ...]:
+        """Storage sites of ``table`` that are currently up."""
+        return tuple(s for s in self.storage_sites(table) if self.site_is_up(s))
+
+    # -- site health ---------------------------------------------------------
+
+    def mark_site_down(self, name: str) -> None:
+        """Record a site outage: the optimizer plans around down sites
+        (no table access at them, no SHIP to them)."""
+        self.site(name)
+        self._down_sites.add(name)
+
+    def mark_site_up(self, name: str) -> None:
+        """Clear a site's outage flag."""
+        self.site(name)
+        self._down_sites.discard(name)
+
+    def site_is_up(self, name: str) -> bool:
+        """Is the site currently healthy?  (Unknown sites raise.)"""
+        self.site(name)
+        return name not in self._down_sites
+
+    def down_sites(self) -> frozenset[str]:
+        """Names of all sites currently marked down."""
+        return frozenset(self._down_sites)
+
+    def up_sites(self) -> tuple[SiteDef, ...]:
+        """All registered sites that are currently up."""
+        return tuple(s for s in self._sites.values() if s.name not in self._down_sites)
 
     def set_table_stats(self, table: str, stats: TableStats) -> None:
         """Replace a table's statistics."""

@@ -7,7 +7,7 @@ them plus the engine knobs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +50,22 @@ class OptimizerConfig:
     #: Collect a human-readable expansion trace ("rules ... may be traced
     #: to explain the origin of any execution plan", section 1).
     trace: bool = False
+
+    #: Sites the optimizer must plan around, in addition to any sites the
+    #: catalog has marked down (``Catalog.mark_site_down``): no base-table
+    #: access at them, no SHIP to them, and they are dropped from the
+    #: candidate join sites.  Used by :class:`ResilientExecutor` when
+    #: re-optimizing after a site outage.
+    avoid_sites: frozenset[str] = field(default_factory=frozenset)
+
+    #: Keep plans whose *site footprint* (every site any of their nodes
+    #: executes at) is not a superset of a cheaper plan's footprint, even
+    #: when dominated on cost and every physical property.  A plan that
+    #: reads a replica at a different site is insurance against a site
+    #: outage — retaining it is what makes the SAP useful for run-time
+    #: failover.  Off by default: it weakens pruning, and purely local
+    #: workloads gain nothing from it.
+    retain_site_diversity: bool = False
 
     def with_options(self, **kwargs) -> "OptimizerConfig":
         return replace(self, **kwargs)

@@ -82,6 +82,20 @@ TID_WIDTH = 8
 #: Bytes per network message (datagram) for SHIP cost estimation.
 MESSAGE_SIZE = 4096
 
+
+def ship_messages(nbytes: float, message_size: int = MESSAGE_SIZE) -> int:
+    """Messages needed to ship ``nbytes`` in one transfer: one datagram
+    per ``message_size`` bytes plus one control message.
+
+    This is the single source of truth for message accounting — both the
+    cost model's ``msgs`` estimate and :class:`NetworkSim`'s actuals use
+    it, so experiment E8's estimate-vs-actual comparison measures
+    cardinality/width estimation error only, never formula drift.
+    """
+    if nbytes <= 0:
+        return 1
+    return int(math.ceil(nbytes / message_size)) + 1
+
 #: Pages of sort memory: inputs smaller than this sort without spill I/O.
 SORT_MEMORY_PAGES = 32
 
@@ -142,5 +156,5 @@ class CostModel:
     def ship_cost(self, card: float, columns: frozenset[ColumnRef]) -> Cost:
         """Communication cost of shipping a stream between sites."""
         nbytes = self.stream_bytes(card, columns)
-        msgs = math.ceil(nbytes / MESSAGE_SIZE) + 1  # +1 for the control message
+        msgs = ship_messages(nbytes)
         return Cost(msgs=float(msgs), bytes_sent=nbytes, cpu=card)

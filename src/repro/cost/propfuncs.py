@@ -101,10 +101,26 @@ def index_matching_predicates(
 class PlanFactory:
     """Builds plan nodes, computing property vectors as it goes."""
 
-    def __init__(self, catalog: Catalog, model: CostModel | None = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        model: CostModel | None = None,
+        avoid_sites: frozenset[str] = frozenset(),
+    ):
         self.catalog = catalog
         self.model = model if model is not None else CostModel(catalog)
         self.selectivity = Selectivity(catalog)
+        #: Sites plans must not touch (config-avoided; catalog down-sites
+        #: are always avoided on top of these).
+        self.avoid_sites = frozenset(avoid_sites)
+
+    def site_usable(self, site: str) -> bool:
+        """May plans execute at ``site``?  (Up and not avoided.)"""
+        return site not in self.avoid_sites and self.catalog.site_is_up(site)
+
+    def _require_site(self, site: str, doing: str) -> None:
+        if not self.site_usable(site):
+            raise ReproError(f"cannot {doing}: site {site} is down or avoided")
 
     # -- shared estimation helpers --------------------------------------------
 
@@ -130,11 +146,20 @@ class PlanFactory:
         table: str,
         columns: Iterable[ColumnRef],
         preds: Iterable[Predicate],
+        site: str | None = None,
     ) -> PlanNode:
         """Sequential ACCESS of a stored base table: flavor ``heap`` for a
         heap table, ``btree`` for a B-tree-organized table (whose scan
-        delivers key order) — the two TableAccess flavors of 4.5.2."""
+        delivers key order) — the two TableAccess flavors of 4.5.2.
+
+        ``site`` selects which stored copy to read (primary by default);
+        it must be one of the table's storage sites and currently usable.
+        """
         tdef = self.catalog.table(table)
+        site = site if site is not None else tdef.site
+        if site not in self.catalog.storage_sites(table):
+            raise ReproError(f"table {table} has no copy at site {site}")
+        self._require_site(site, f"access {table} at {site}")
         columns = frozenset(columns)
         preds = frozenset(preds)
         own = frozenset([table])
@@ -149,7 +174,7 @@ class PlanFactory:
             cols=columns,
             preds=preds,
             order=order,
-            site=tdef.site,
+            site=site,
             temp=False,
             paths=frozenset(),
             stored_as=None,
@@ -160,7 +185,9 @@ class PlanFactory:
         return PlanNode(
             op=ACCESS,
             flavor=tdef.storage,
-            params=make_params(table=table, path=None, columns=columns, preds=preds),
+            params=make_params(
+                table=table, path=None, columns=columns, preds=preds, site=site
+            ),
             inputs=(),
             props=props,
         )
@@ -171,13 +198,19 @@ class PlanFactory:
         path: AccessPath,
         columns: Iterable[ColumnRef] | None = None,
         preds: Iterable[Predicate] = (),
+        site: str | None = None,
     ) -> PlanNode:
         """ACCESS of an index on a base table.
 
         Delivers the key columns plus the TID (Figure 1) in key order.
         A clustered index also delivers the full row, so ``columns`` may
-        then name any table column.
+        then name any table column.  ``site`` selects which stored copy's
+        index to read (replicas mirror the primary's access paths).
         """
+        site = site if site is not None else self.catalog.table(table).site
+        if site not in self.catalog.storage_sites(table):
+            raise ReproError(f"table {table} has no copy at site {site}")
+        self._require_site(site, f"access index {path.name} at {site}")
         preds = frozenset(preds)
         own = frozenset([table])
         key_cols = frozenset(ColumnRef(table, c) for c in path.columns)
@@ -233,7 +266,7 @@ class PlanFactory:
             cols=columns,
             preds=preds,
             order=tuple(ColumnRef(table, c) for c in path.columns),
-            site=self.catalog.table(table).site,
+            site=site,
             temp=False,
             paths=frozenset(),
             stored_as=None,
@@ -244,7 +277,9 @@ class PlanFactory:
         return PlanNode(
             op=ACCESS,
             flavor="index",
-            params=make_params(table=table, path=path, columns=columns, preds=preds),
+            params=make_params(
+                table=table, path=path, columns=columns, preds=preds, site=site
+            ),
             inputs=(),
             props=props,
         )
@@ -466,6 +501,7 @@ class PlanFactory:
     def ship(self, input_plan: PlanNode, to_site: str) -> PlanNode:
         """SHIP the stream to ``to_site`` (changes the SITE property)."""
         self.catalog.site(to_site)
+        self._require_site(to_site, f"ship to {to_site}")
         in_props = input_plan.props
         if in_props.site == to_site:
             raise ReproError(f"stream is already at site {to_site}")

@@ -57,8 +57,62 @@ class GlueError(ReproError):
 
 
 class OptimizationError(ReproError):
-    """The optimizer could not produce any plan for a query."""
+    """The optimizer could not produce any plan for a query.
+
+    When raised by :meth:`StarburstOptimizer.optimize`, carries the
+    expansion statistics and plan-table statistics of the failed
+    optimization (``expansion_stats`` / ``plan_table_stats``) so that
+    "no plan produced" failures are debuggable: the counters show how far
+    the search got before it came up empty.
+    """
+
+    def __init__(self, message: str, *, expansion_stats=None, plan_table_stats=None):
+        self.expansion_stats = expansion_stats
+        self.plan_table_stats = plan_table_stats
+        details = []
+        if expansion_stats is not None:
+            details.append(f"expansion: {expansion_stats}")
+        if plan_table_stats is not None:
+            details.append(f"plan table: {plan_table_stats}")
+        if details:
+            message = f"{message} [{'; '.join(details)}]"
+        super().__init__(message)
 
 
 class ExecutionError(ReproError):
     """The query evaluator failed while interpreting a plan."""
+
+
+class NetworkError(ExecutionError):
+    """A failure of the simulated distributed system (site or link)."""
+
+
+class SiteUnavailableError(NetworkError):
+    """A site of the simulated distributed system is down (permanent for
+    the current execution; plan failover may route around it)."""
+
+    def __init__(self, site: str, message: str | None = None):
+        self.site = site
+        super().__init__(message or f"site {site} is unavailable")
+
+
+class LinkError(NetworkError):
+    """A site-to-site link failed permanently (scheduled outage, or a
+    transfer whose bounded retries were exhausted)."""
+
+    def __init__(self, from_site: str, to_site: str, message: str | None = None):
+        self.from_site = from_site
+        self.to_site = to_site
+        super().__init__(message or f"link {from_site}->{to_site} is down")
+
+
+class TransientNetworkError(LinkError):
+    """One transfer attempt failed transiently; the sender may retry
+    (with backoff) up to its :class:`~repro.executor.chaos.RetryPolicy`."""
+
+    def __init__(self, from_site: str, to_site: str, message: str | None = None):
+        super().__init__(
+            from_site,
+            to_site,
+            message or f"transient failure on link {from_site}->{to_site}",
+        )

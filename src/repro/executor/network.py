@@ -3,40 +3,98 @@
 The paper's SITE property and SHIP LOLEPOP come from R*'s distributed
 setting [LOHM 84, LOHM 85].  We have no network, so SHIP's run-time
 routine charges a :class:`NetworkSim` instead: per-link messages and
-bytes, using the same message size the cost model assumes.  Experiment E8
-compares these actuals against the estimated ``msgs``/``bytes_sent``.
+bytes, using the same message-count formula the cost model assumes
+(:func:`repro.cost.model.ship_messages`).  Experiment E8 compares these
+actuals against the estimated ``msgs``/``bytes_sent``.
+
+With a :class:`~repro.executor.chaos.ChaosEngine` attached, each transfer
+becomes fallible: transient failures are retried with deterministic
+exponential backoff under a :class:`~repro.executor.chaos.RetryPolicy`
+(attempts, retries and simulated backoff latency are all recorded in
+:class:`LinkStats`), while permanent site/link outages raise the typed
+errors of :mod:`repro.errors` for the caller to fail over.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
-from repro.cost.model import MESSAGE_SIZE
+from repro.cost.model import MESSAGE_SIZE, ship_messages
+from repro.errors import LinkError, TransientNetworkError
+from repro.executor.chaos import ChaosEngine, RetryPolicy, SimClock
 
 
 @dataclass
 class LinkStats:
-    """Traffic on one directed site-to-site link."""
+    """Traffic and reliability accounting on one directed link."""
 
     messages: int = 0
     bytes_sent: int = 0
     tuples: int = 0
+    #: Send attempts, including ones that failed.
+    attempts: int = 0
+    #: Re-sends performed after a transient failure.
+    retries: int = 0
+    #: Transient failures observed on this link.
+    failures: int = 0
+    #: Simulated seconds spent backing off before retries.
+    backoff_seconds: float = 0.0
 
 
 @dataclass
 class NetworkSim:
-    """Accounts traffic between simulated sites."""
+    """Accounts traffic between simulated sites (and, under chaos,
+    injects/retries failures)."""
 
     links: dict[tuple[str, str], LinkStats] = field(default_factory=dict)
     message_size: int = MESSAGE_SIZE
+    chaos: ChaosEngine | None = None
+    retry: RetryPolicy | None = None
+    clock: SimClock | None = None
 
     def transfer(self, from_site: str, to_site: str, tuples: int, nbytes: int) -> None:
-        """Record one stream shipment (tuples are batched into messages)."""
+        """Ship one stream (tuples are batched into messages).
+
+        Under chaos, each attempt may fail: transient failures back off
+        and retry up to the policy's bounds; permanent failures raise
+        immediately.  Without a chaos engine this is infallible and costs
+        a single attempt, exactly as before.
+        """
         link = self.links.setdefault((from_site, to_site), LinkStats())
-        link.messages += math.ceil(nbytes / self.message_size) + 1 if nbytes else 1
-        link.bytes_sent += nbytes
-        link.tuples += tuples
+        policy = self.retry if self.retry is not None else RetryPolicy()
+        attempt = 0
+        while True:
+            attempt += 1
+            link.attempts += 1
+            try:
+                if self.chaos is not None:
+                    self.chaos.on_transfer_attempt(from_site, to_site)
+            except TransientNetworkError:
+                link.failures += 1
+                if attempt >= policy.max_attempts:
+                    raise LinkError(
+                        from_site,
+                        to_site,
+                        f"link {from_site}->{to_site} still failing after "
+                        f"{attempt} attempt(s); retries exhausted",
+                    ) from None
+                pause = policy.backoff(attempt)
+                if self.total_backoff + pause > policy.timeout_budget:
+                    raise LinkError(
+                        from_site,
+                        to_site,
+                        f"link {from_site}->{to_site}: retry timeout budget "
+                        f"({policy.timeout_budget:.2f}s simulated) exhausted",
+                    ) from None
+                link.backoff_seconds += pause
+                link.retries += 1
+                if self.clock is not None:
+                    self.clock.advance(pause)
+                continue
+            link.messages += ship_messages(nbytes, self.message_size)
+            link.bytes_sent += nbytes
+            link.tuples += tuples
+            return
 
     @property
     def total_messages(self) -> int:
@@ -45,3 +103,19 @@ class NetworkSim:
     @property
     def total_bytes(self) -> int:
         return sum(link.bytes_sent for link in self.links.values())
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(link.attempts for link in self.links.values())
+
+    @property
+    def total_retries(self) -> int:
+        return sum(link.retries for link in self.links.values())
+
+    @property
+    def total_failures(self) -> int:
+        return sum(link.failures for link in self.links.values())
+
+    @property
+    def total_backoff(self) -> float:
+        return sum(link.backoff_seconds for link in self.links.values())

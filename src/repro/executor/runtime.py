@@ -25,6 +25,7 @@ from typing import Any, Iterator, Mapping
 
 from repro.catalog.schema import AccessPath
 from repro.errors import ExecutionError
+from repro.executor.chaos import ChaosEngine, RetryPolicy, SimClock
 from repro.executor.network import NetworkSim
 from repro.plans.operators import (
     ACCESS,
@@ -67,6 +68,11 @@ class ExecutionStats:
     bytes_shipped: int = 0
     temps_materialized: int = 0
     elapsed_seconds: float = 0.0
+    #: Chaos/retry accounting (all zero when no chaos engine is attached).
+    ship_attempts: int = 0
+    ship_retries: int = 0
+    transient_failures: int = 0
+    backoff_seconds: float = 0.0
 
     @property
     def total_io(self) -> int:
@@ -92,31 +98,54 @@ class ExecutionResult:
 
 
 class QueryExecutor:
-    """Interprets plan DAGs against stored data."""
+    """Interprets plan DAGs against stored data.
 
-    def __init__(self, database: Database):
+    With a :class:`ChaosEngine` attached, execution is fallible: SHIP
+    transfers consult the engine (and retry transient failures under
+    ``retry``), and base-table ACCESS/GET at a downed site raises
+    :class:`~repro.errors.SiteUnavailableError`.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        chaos: ChaosEngine | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         self.db = database
+        self.chaos = chaos
+        self.retry = retry
+        #: The NetworkSim of the most recent ``run_plan`` call, kept even
+        #: when execution raises — failover code aggregates its stats.
+        self.last_network: NetworkSim | None = None
 
     # -- public API ----------------------------------------------------------------
 
     def run_plan(self, plan: PlanNode) -> tuple[list[Row], ExecutionStats]:
         """Execute a plan, returning raw stream rows and statistics."""
         stats = ExecutionStats()
-        network = NetworkSim()
-        run = _PlanRun(self.db, stats, network)
+        network = NetworkSim(chaos=self.chaos, retry=self.retry, clock=SimClock())
+        self.last_network = network
+        run = _PlanRun(self.db, stats, network, chaos=self.chaos)
         started = time.perf_counter()
         io_before = self.db.io.snapshot()
-        rows = list(run.execute(plan, bindings=None))
-        delta = self.db.io.since(io_before)
-        stats.page_reads = delta.page_reads
-        stats.page_writes = delta.page_writes
-        stats.index_reads = delta.index_reads
-        stats.index_writes = delta.index_writes
-        stats.messages = network.total_messages
-        stats.bytes_shipped = network.total_bytes
+        try:
+            rows = list(run.execute(plan, bindings=None))
+        finally:
+            delta = self.db.io.since(io_before)
+            stats.page_reads = delta.page_reads
+            stats.page_writes = delta.page_writes
+            stats.index_reads = delta.index_reads
+            stats.index_writes = delta.index_writes
+            stats.messages = network.total_messages
+            stats.bytes_shipped = network.total_bytes
+            stats.ship_attempts = network.total_attempts
+            stats.ship_retries = network.total_retries
+            stats.transient_failures = network.total_failures
+            stats.backoff_seconds = network.total_backoff
+            stats.elapsed_seconds = time.perf_counter() - started
+            self.db.drop_temps()
         stats.output_rows = len(rows)
-        stats.elapsed_seconds = time.perf_counter() - started
-        self.db.drop_temps()
         return rows, stats
 
     def run(self, query: QueryBlock, plan: PlanNode) -> ExecutionResult:
@@ -155,11 +184,24 @@ def _sort_key(value: Any) -> tuple:
 class _PlanRun:
     """One plan execution: dispatch + temp cache + accounting."""
 
-    def __init__(self, db: Database, stats: ExecutionStats, network: NetworkSim):
+    def __init__(
+        self,
+        db: Database,
+        stats: ExecutionStats,
+        network: NetworkSim,
+        chaos: ChaosEngine | None = None,
+    ):
         self.db = db
         self.stats = stats
         self.network = network
+        self.chaos = chaos
         self._temps: dict[int, TableData] = {}
+
+    def _check_site(self, site: str | None) -> None:
+        """Fail with SiteUnavailableError when the node's execution site
+        has been killed by the chaos engine."""
+        if self.chaos is not None and site is not None:
+            self.chaos.check_site(site)
 
     # -- dispatch --------------------------------------------------------------------
 
@@ -204,6 +246,7 @@ class _PlanRun:
         preds: frozenset[Predicate] = node.param("preds") or frozenset()
 
         if node.flavor in ("heap", "btree"):
+            self._check_site(node.props.site)
             data = self.db.table(node.param("table"))
             if node.flavor == "btree":
                 return self._scan_clustered(data, columns, preds, bindings)
@@ -218,6 +261,7 @@ class _PlanRun:
         if node.inputs:  # dynamic index on a temp
             data = self._materialize_input(node)
         else:
+            self._check_site(node.props.site)
             data = self.db.table(node.param("table"))
         assert path is not None
         return self._index_scan(data, path, columns or node.props.cols, preds, bindings)
@@ -331,6 +375,7 @@ class _PlanRun:
         table = node.param("table")
         columns: frozenset[ColumnRef] = node.param("columns") or frozenset()
         preds: frozenset[Predicate] = node.param("preds") or frozenset()
+        self._check_site(node.props.site)
         data = self.db.table(table)
         tid = tid_column(table)
         positions = [(c, data.position(c)) for c in columns if data.has_column(c)]

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.catalog.catalog import Catalog
 from repro.config import OptimizerConfig
 from repro.cost.model import CostModel, CostWeights
-from repro.errors import OptimizationError
+from repro.errors import GlueError, OptimizationError, ReproError
 from repro.optimizer.enumerator import JoinEnumerator
 from repro.plans.plan import PlanNode
 from repro.plans.properties import Requirements
@@ -99,6 +99,13 @@ class StarburstOptimizer:
         if isinstance(query, str):
             query = parse_query(query, self.catalog)
         started = time.perf_counter()
+        result_site = query.result_site or self.catalog.query_site
+        avoided = frozenset(self.config.avoid_sites) | self.catalog.down_sites()
+        if result_site in avoided:
+            raise OptimizationError(
+                f"result site {result_site} is down or avoided; "
+                f"no plan can deliver the result"
+            )
         model = CostModel(self.catalog, self.weights)
         engine = StarEngine(
             rules=self.rules,
@@ -108,19 +115,34 @@ class StarburstOptimizer:
             config=self.config,
             model=model,
         )
-        enumerator = JoinEnumerator(engine)
-        enumerator.run()
+        try:
+            enumerator = JoinEnumerator(engine)
+            enumerator.run()
 
-        result_site = query.result_site or self.catalog.query_site
-        requirements = Requirements(
-            order=query.required_order() or None,
-            site=result_site,
-        )
-        final_stream = Stream(query.table_set, requirements)
-        alternatives = engine.ctx.glue.resolve(final_stream)
+            requirements = Requirements(
+                order=query.required_order() or None,
+                site=result_site,
+            )
+            final_stream = Stream(query.table_set, requirements)
+            alternatives = engine.ctx.glue.resolve(final_stream)
+        except OptimizationError:
+            raise
+        except (GlueError, ReproError) as exc:
+            # Surface how much search had happened when optimization died
+            # — the diagnostics a DBC needs to see whether rules fired at
+            # all or pruning starved the plan table.
+            raise OptimizationError(
+                f"optimization failed for query {query}: {exc}",
+                expansion_stats=engine.stats.as_dict(),
+                plan_table_stats=engine.plan_table.stats,
+            ) from exc
         best = alternatives.cheapest(engine.ctx.model)
         if best is None:
-            raise OptimizationError(f"no plan produced for query {query}")
+            raise OptimizationError(
+                f"no plan produced for query {query}",
+                expansion_stats=engine.stats.as_dict(),
+                plan_table_stats=engine.plan_table.stats,
+            )
         elapsed = time.perf_counter() - started
         return OptimizationResult(
             query=query,

@@ -56,7 +56,11 @@ LOLEPOPS: dict[str, LolepopSpec] = {
     for spec in (
         # ACCESS of a base table or index has no plan input; ACCESS of a
         # materialized temp consumes the plan that produced the temp.
-        LolepopSpec(ACCESS, (0, 1), ACCESS_FLAVORS, ("table", "path", "columns", "preds")),
+        # ``site`` names the stored copy being read (primary or replica) —
+        # part of the params so replica plans get distinct digests.
+        LolepopSpec(
+            ACCESS, (0, 1), ACCESS_FLAVORS, ("table", "path", "columns", "preds", "site")
+        ),
         # GET consumes a TID stream and the stored table it dereferences
         # (Figure 1); the stored table is a parameter, not a plan input.
         LolepopSpec(GET, (1,), (), ("table", "columns", "preds")),

@@ -211,3 +211,22 @@ def render_tree(node: PlanNode, show_properties: bool = False) -> str:
 def plan_digest(node: PlanNode) -> str:
     """The plan's structural digest (ignores cost); cached per node."""
     return node.digest
+
+
+def plan_sites(node: PlanNode) -> frozenset[str]:
+    """The plan's *site footprint*: every site some node executes at.
+
+    A plan survives a site outage iff the dead site is not in its
+    footprint — the question :class:`ResilientExecutor` asks of each
+    alternative in the SAP when failing over.
+    """
+    return frozenset(n.props.site for n in node.nodes())
+
+
+def plan_links(node: PlanNode) -> frozenset[tuple[str, str]]:
+    """Every directed link the plan ships a stream over."""
+    return frozenset(
+        (n.inputs[0].props.site, n.param("to_site"))
+        for n in node.nodes()
+        if n.op == SHIP
+    )

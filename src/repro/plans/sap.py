@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Iterator
 
 from repro.cost.model import CostModel
-from repro.plans.plan import PlanNode, plan_digest
+from repro.plans.plan import PlanNode, plan_digest, plan_links, plan_sites
 from repro.plans.properties import Requirements, order_satisfies
 
 
@@ -85,7 +85,12 @@ class SAP:
             return None
         return min(self.plans, key=lambda p: model.total(p.props.cost))
 
-    def pruned(self, model: CostModel, interesting: frozenset | None = None) -> "SAP":
+    def pruned(
+        self,
+        model: CostModel,
+        interesting: frozenset | None = None,
+        site_diversity: bool = False,
+    ) -> "SAP":
         """Drop dominated alternatives.
 
         Plan A dominates plan B when both produce the same relational
@@ -104,16 +109,28 @@ class SAP:
         longest prefix of interesting columns — orders that no later
         merge join or ORDER BY can exploit do not keep expensive plans
         alive (the classic System R refinement).
+
+        With ``site_diversity`` on, dominance additionally requires the
+        dominating plan's site/link *footprint* to be a subset of the
+        dominated plan's — a plan that touches a site or link the cheaper
+        plan does not is insurance against an outage of the cheaper
+        plan's resources, and survives pruning.
         """
         candidates = sorted(self.plans, key=lambda p: model.total(p.props.cost))
         effective: dict[str, tuple] = {}
+        footprint: dict[str, tuple[frozenset, frozenset]] | None = None
         for plan in candidates:
             effective[plan.digest] = _effective_order(plan.props.order, interesting)
+        if site_diversity:
+            footprint = {
+                plan.digest: (plan_sites(plan), plan_links(plan))
+                for plan in candidates
+            }
         keep: list[PlanNode] = []
         for cand in candidates:
             dominated = False
             for kept in keep:
-                if _dominates(kept, cand, model, effective):
+                if _dominates(kept, cand, model, effective, footprint):
                     dominated = True
                     break
             if not dominated:
@@ -141,10 +158,23 @@ def _real_cols(cols: frozenset) -> frozenset:
     return frozenset(c for c in cols if not c.column.startswith("#"))
 
 
-def _dominates(a: PlanNode, b: PlanNode, model: CostModel, effective: dict) -> bool:
+def _dominates(
+    a: PlanNode,
+    b: PlanNode,
+    model: CostModel,
+    effective: dict,
+    footprint: dict | None = None,
+) -> bool:
     pa, pb = a.props, b.props
     if pa.site != pb.site:
         return False
+    if footprint is not None:
+        a_sites, a_links = footprint[a.digest]
+        b_sites, b_links = footprint[b.digest]
+        # A may only subsume B if everything A depends on, B depends on
+        # too — otherwise B survives failures A does not.
+        if not (a_sites <= b_sites and a_links <= b_links):
+            return False
     if pb.temp and not pa.temp:
         return False
     if pb.stored_as is not None and pa.stored_as is None:

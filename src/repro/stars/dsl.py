@@ -384,10 +384,14 @@ class _RuleParser:
                 return RequiredSpec(order=order, site=site, temp=temp, paths=paths)
             self._expect(",")
 
-    @staticmethod
-    def _strip(expr: RuleExpr) -> RuleExpr:
+    def _strip(self, expr: RuleExpr) -> RuleExpr:
         if isinstance(expr, _TermExpr):
-            raise ParseError("plan terms cannot appear inside required properties")
+            token = self._peek()
+            raise ParseError(
+                "plan terms cannot appear inside required properties",
+                token.line,
+                token.column,
+            )
         return expr
 
 

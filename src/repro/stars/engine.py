@@ -124,6 +124,9 @@ class RuleContext:
         self.factory = factory
         self.model = factory.model
         self.plan_table = plan_table
+        #: Sites no plan may touch: explicitly avoided by config plus any
+        #: the catalog has marked down.
+        self.avoided_sites = frozenset(config.avoid_sites) | catalog.down_sites()
         self.stats = ExpansionStats()
         self.access_root = ACCESS_ROOT
         self.interesting = query.interesting_order_columns()
@@ -147,12 +150,13 @@ class StarEngine:
         plan_table: PlanTable | None = None,
     ):
         config = config if config is not None else OptimizerConfig()
-        factory = PlanFactory(catalog, model)
+        factory = PlanFactory(catalog, model, avoid_sites=config.avoid_sites)
         if plan_table is None:
             plan_table = PlanTable(
                 factory.model,
                 prune=config.prune,
                 interesting=query.interesting_order_columns(),
+                site_diversity=config.retain_site_diversity,
             )
         self.ctx = RuleContext(
             catalog=catalog,
@@ -437,16 +441,22 @@ class StarEngine:
             target = next(iter(target.tables))
 
         if isinstance(target, str):
-            result = SAP([factory.access_base(target, columns or frozenset(), preds)])
+            result = SAP(
+                factory.access_base(target, columns or frozenset(), preds, site=site)
+                for site in self._usable_copies(target)
+            )
             ctx.stats.plans_emitted += len(result)
             return result
 
         from repro.catalog.schema import AccessPath
 
         if isinstance(target, AccessPath):
-            plan = factory.access_index(target.table, target, columns, preds)
-            ctx.stats.plans_emitted += 1
-            return SAP([plan])
+            result = SAP(
+                factory.access_index(target.table, target, columns, preds, site=site)
+                for site in self._usable_copies(target.table)
+            )
+            ctx.stats.plans_emitted += len(result)
+            return result
 
         if isinstance(target, SAP):
             plans = []
@@ -465,6 +475,23 @@ class StarEngine:
             return result
 
         raise RuleError(f"ACCESS target must be table/path/plans, got {type(target).__name__}")
+
+    def _usable_copies(self, table: str) -> tuple[str, ...]:
+        """Storage sites of ``table`` that plans may read: up, reachable,
+        and not config-avoided.  Raises if the table is wholly unreachable
+        — no rule can produce any plan then."""
+        ctx = self.ctx
+        sites = tuple(
+            s
+            for s in ctx.catalog.reachable_storage_sites(table)
+            if s not in ctx.avoided_sites
+        )
+        if not sites:
+            raise ReproError(
+                f"no usable copy of table {table}: every storage site is "
+                f"down or avoided"
+            )
+        return sites
 
     # -- expressions ------------------------------------------------------------------
 

@@ -89,7 +89,10 @@ class Glue:
             return SAP([cheapest])
         if not ctx.config.prune:
             return result
-        return result.pruned(ctx.model, ctx.interesting)
+        return result.pruned(
+            ctx.model, ctx.interesting,
+            site_diversity=ctx.config.retain_site_diversity,
+        )
 
     def augment(self, sap: SAP, req: Requirements) -> SAP:
         """Apply veneers to already-resolved plans (used when a rule puts
@@ -107,7 +110,10 @@ class Glue:
             raise GlueError(f"Glue could not satisfy {req} on given plans")
         if not self._ctx.config.prune:
             return result
-        return result.pruned(self._ctx.model, self._ctx.interesting)
+        return result.pruned(
+            self._ctx.model, self._ctx.interesting,
+            site_diversity=self._ctx.config.retain_site_diversity,
+        )
 
     # -- candidate generation (step 1) --------------------------------------------
 

@@ -49,10 +49,12 @@ class PlanTable:
     """Alternative plans per (TABLES, PREDS) equivalence class."""
 
     def __init__(self, model: CostModel, prune: bool = True,
-                 interesting: frozenset | None = None):
+                 interesting: frozenset | None = None,
+                 site_diversity: bool = False):
         self._model = model
         self._prune = prune
         self._interesting = interesting
+        self._site_diversity = site_diversity
         self._entries: dict[PlanKey, SAP] = {}
         self._build_counts: dict[PlanKey, int] = {}
         self.stats = PlanTableStats()
@@ -85,7 +87,10 @@ class PlanTable:
         merged = SAP(plans) if existing is None else existing.union(SAP(plans))
         before = len(merged)
         if self._prune:
-            merged = merged.pruned(self._model, self._interesting)
+            merged = merged.pruned(
+                self._model, self._interesting,
+                site_diversity=self._site_diversity,
+            )
         self.stats.inserts += 1
         self.stats.plans_inserted += before
         self.stats.plans_pruned += before - len(merged)

@@ -119,11 +119,17 @@ def fn_local_query(ctx: "RuleContext") -> bool:
 
 @rule_function("candidate_sites")
 def fn_candidate_sites(ctx: "RuleContext") -> tuple[str, ...]:
-    """σ: the sites at which tables of the query are stored, plus the
-    query site (section 4.2)."""
-    sites = {ctx.catalog.table(t).site for t in ctx.query.tables}
+    """σ: the sites at which tables of the query are stored (any copy —
+    primary or replica), plus the query site (section 4.2).  Sites that
+    are down or config-avoided are excluded: no join may execute there."""
+    sites: set[str] = set()
+    for t in ctx.query.tables:
+        sites.update(ctx.catalog.storage_sites(t))
     sites.add(ctx.catalog.query_site)
-    return tuple(sorted(sites))
+    avoided = getattr(ctx, "avoided_sites", frozenset())
+    return tuple(
+        s for s in sorted(sites) if s not in avoided and ctx.catalog.site_is_up(s)
+    )
 
 
 @rule_function("query_site")

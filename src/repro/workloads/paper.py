@@ -37,9 +37,17 @@ def paper_catalog(
     distributed: bool = False,
     dept_rows: int = 50,
     emp_rows: int = 2000,
+    replicate_dept: bool = False,
 ) -> Catalog:
     """The DEPT/EMP catalog.  With ``distributed=True``, DEPT is stored at
-    N.Y. and EMP at L.A., with the query site at L.A. (Figure 3)."""
+    N.Y. and EMP at L.A., with the query site at L.A. (Figure 3).
+
+    With ``replicate_dept=True`` (requires ``distributed``), DEPT gets a
+    full replica at a third site S.F. — the R* replicated-table setup the
+    chaos experiments use: the optimizer prefers the N.Y. primary, and
+    the SAP holds an S.F.-replica alternative that survives an outage of
+    N.Y.
+    """
     query_site = "L.A." if distributed else "local"
     catalog = Catalog(query_site=query_site)
     if distributed:
@@ -61,6 +69,10 @@ def paper_catalog(
         )
     )
     catalog.add_index(AccessPath("EMP_DNO", "EMP", ("DNO",)))
+    if replicate_dept:
+        if not distributed:
+            raise ValueError("replicate_dept requires distributed=True")
+        catalog.add_replica("DEPT", "S.F.")
     # Remember the intended sizes for data generation.
     catalog._paper_sizes = (dept_rows, emp_rows)  # type: ignore[attr-defined]
     return catalog
