@@ -1,0 +1,151 @@
+"""E11 — observability overhead: tracing must be free when disabled.
+
+The tracer's design contract is *zero cost when disabled*: every
+instrumented hot path guards on ``tracer is not None``, and constructors
+normalize disabled tracers to ``None`` (:func:`repro.obs.trace.active_tracer`),
+so the disabled mode is literally the uninstrumented code path.  This
+experiment measures that contract on the E6 workload (a 4-table chain,
+optimize + execute end to end) in three modes:
+
+* **baseline** — no tracer argument anywhere (the pre-observability API);
+* **disabled** — ``Tracer.disabled()`` passed explicitly (must normalize
+  away to the baseline path);
+* **enabled** — a live tracer and metrics registry collecting every
+  event.
+
+Samples are interleaved round-robin so clock drift and cache effects hit
+all modes equally; the comparison uses medians.  The gate is
+**disabled-mode overhead < 5%** of baseline.  Enabled-mode overhead is
+reported but not gated (collecting hundreds of events per query is
+allowed to cost something).
+
+Results are also written to ``BENCH_e11.json`` (machine-readable, one
+flat dict) next to the repository's other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.bench import Table, banner
+from repro.executor import QueryExecutor
+from repro.obs import MetricsRegistry, Tracer
+from repro.optimizer import StarburstOptimizer
+from repro.stars.builtin_rules import extended_rules
+from repro.workloads.generator import chain_workload
+
+#: Interleaved samples per mode.
+SAMPLES = 15
+#: Warmup iterations (discarded) before sampling.
+WARMUP = 3
+#: The gate: disabled-mode median may exceed baseline by at most this.
+MAX_DISABLED_OVERHEAD = 0.05
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_e11.json"
+
+
+def _run_once(wl, rules, tracer: Tracer | None, metrics) -> None:
+    result = StarburstOptimizer(
+        wl.catalog, rules=rules, tracer=tracer, metrics=metrics
+    ).optimize(wl.query)
+    QueryExecutor(wl.database, tracer=tracer).run(result.query, result.best_plan)
+
+
+def _measure(wl, rules) -> dict[str, list[float]]:
+    """Interleaved wall-time samples per mode (seconds)."""
+    modes = {
+        "baseline": lambda: _run_once(wl, rules, None, None),
+        "disabled": lambda: _run_once(wl, rules, Tracer.disabled(), None),
+        "enabled": lambda: _run_once(wl, rules, Tracer(), MetricsRegistry()),
+    }
+    samples: dict[str, list[float]] = {name: [] for name in modes}
+    for _ in range(WARMUP):
+        for run in modes.values():
+            run()
+    for _ in range(SAMPLES):
+        for name, run in modes.items():
+            started = time.perf_counter()
+            run()
+            samples[name].append(time.perf_counter() - started)
+    return samples
+
+
+def run_experiment() -> str:
+    wl = chain_workload(4, rows=60, seed=5)
+    rules = extended_rules()
+    samples = _measure(wl, rules)
+    medians = {name: statistics.median(vals) for name, vals in samples.items()}
+    overhead = {
+        name: medians[name] / medians["baseline"] - 1.0
+        for name in ("disabled", "enabled")
+    }
+
+    # One traced run to report the event volume the enabled mode pays for.
+    tracer = Tracer()
+    _run_once(wl, rules, tracer, MetricsRegistry())
+
+    table = Table(["mode", "median ms", "min ms", "overhead vs baseline"])
+    for name in ("baseline", "disabled", "enabled"):
+        table.add(
+            name,
+            f"{medians[name] * 1000:.2f}",
+            f"{min(samples[name]) * 1000:.2f}",
+            "-" if name == "baseline" else f"{overhead[name] * +100:.1f}%",
+        )
+
+    payload = {
+        "workload": "chain:4 rows=60 seed=5 (E6)",
+        "samples_per_mode": SAMPLES,
+        "baseline_median_seconds": medians["baseline"],
+        "disabled_median_seconds": medians["disabled"],
+        "enabled_median_seconds": medians["enabled"],
+        "disabled_overhead": overhead["disabled"],
+        "enabled_overhead": overhead["enabled"],
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "events_per_traced_run": len(tracer),
+        "disabled_within_budget": overhead["disabled"] < MAX_DISABLED_OVERHEAD,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        banner(
+            "E11 — observability overhead (tracing disabled vs enabled)",
+            "Disabled tracing must ride the uninstrumented code path: "
+            f"< {MAX_DISABLED_OVERHEAD:.0%} overhead on the E6 workload.",
+        ),
+        str(table),
+        f"traced events per run: {len(tracer)} "
+        f"(categories: {tracer.category_counts()})",
+        f"machine-readable results: {OUTPUT.name}",
+        "",
+    ]
+    verdict = (
+        "DISABLED TRACING IS FREE"
+        if payload["disabled_within_budget"]
+        else "DISABLED TRACING COSTS TOO MUCH"
+    )
+    lines.append(f"RESULT: {verdict}")
+    return "\n".join(lines)
+
+
+def test_e11_overhead(benchmark, report):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report(text)
+    assert "DISABLED TRACING IS FREE" in text
+
+
+def test_e11_traced_optimize_speed(benchmark):
+    """Wall time of one fully-traced optimization of the E6 chain."""
+    wl = chain_workload(4, rows=60, seed=5)
+    rules = extended_rules()
+
+    def run():
+        return StarburstOptimizer(
+            wl.catalog, rules=rules, tracer=Tracer(), metrics=MetricsRegistry()
+        ).optimize(wl.query)
+
+    result = benchmark(run)
+    assert result.best_plan is not None

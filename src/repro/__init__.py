@@ -27,6 +27,7 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.cost``     property functions, cost model, selectivity
 ``repro.optimizer``  bottom-up join enumeration + public facade
 ``repro.executor``   the query evaluator (run-time LOLEPOP routines)
+``repro.obs``      observability: tracing, metrics, EXPLAIN ANALYZE
 ``repro.baseline``   EXODUS-style transformational optimizer (comparison)
 ``repro.catalog``    schemas, access paths, sites, statistics
 ``repro.storage``    heaps, B-trees, stored/temp tables
@@ -72,6 +73,16 @@ from repro.executor import (
     SimClock,
     naive_evaluate,
 )
+from repro.obs import (
+    AnalyzeReport,
+    MetricsRegistry,
+    Observability,
+    TraceEvent,
+    Tracer,
+    explain_analyze,
+    q_error,
+    stats_snapshot,
+)
 from repro.optimizer import OptimizationResult, StarburstOptimizer
 from repro.plans import PlanNode, PropertyVector, Requirements, SAP, Stream
 from repro.plans.plan import render_functional, render_tree
@@ -85,6 +96,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessPath",
+    "AnalyzeReport",
     "Catalog",
     "CatalogError",
     "ChaosConfig",
@@ -100,7 +112,9 @@ __all__ = [
     "ExpansionError",
     "GlueError",
     "LinkError",
+    "MetricsRegistry",
     "NetworkError",
+    "Observability",
     "OptimizationError",
     "OptimizationResult",
     "OptimizerConfig",
@@ -125,16 +139,21 @@ __all__ = [
     "Stream",
     "TableDef",
     "TableStats",
+    "TraceEvent",
+    "Tracer",
     "TransformationalOptimizer",
     "TransientNetworkError",
     "default_rules",
+    "explain_analyze",
     "extended_rules",
     "naive_evaluate",
     "parse_predicate",
     "parse_query",
     "parse_rules",
+    "q_error",
     "render_functional",
     "render_tree",
+    "stats_snapshot",
     "validate_rules",
     "__version__",
 ]

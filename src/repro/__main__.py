@@ -8,7 +8,13 @@ Subcommands:
 * ``rules`` — print the builtin rule repertoire, or statically validate
   a Database Customizer's rule file.
 * ``chaos`` — run the Figure-3 distributed query under deterministic
-  fault injection, with retries and SAP-driven plan failover.
+  fault injection, with retries and SAP-driven plan failover
+  (``--trace-out`` captures the structured event log as JSON lines).
+* ``trace`` — optimize and execute a query with full tracing, emitting
+  a Chrome ``trace_event`` file (``--self-check`` validates the event
+  stream against the schema instead — the CI lint).
+* ``analyze`` — EXPLAIN ANALYZE: execute the chosen plan and print the
+  per-operator estimated-vs-actual row table with Q-errors.
 """
 
 from __future__ import annotations
@@ -29,6 +35,12 @@ from repro import (
     parse_rules,
     render_tree,
     validate_rules,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    explain_analyze,
+    validate_jsonl,
 )
 from repro.stars.builtin_rules import (
     BASE_RULES,
@@ -146,16 +158,111 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         protected_sites=frozenset({catalog.query_site}),
     ))
     retry = RetryPolicy.no_retries() if args.no_retries else RetryPolicy()
-    executor = ResilientExecutor(database, optimizer, chaos=chaos, retry=retry)
+    tracer = Tracer() if args.trace_out else None
+    executor = ResilientExecutor(
+        database, optimizer, chaos=chaos, retry=retry, tracer=tracer
+    )
     report = executor.run(result)
     print()
     print(report.summary())
+    if tracer is not None:
+        with open(args.trace_out, "w") as handle:
+            handle.write(tracer.to_jsonl() + "\n")
+        print(f"JSONL event log ({len(tracer)} event(s)) written to "
+              f"{args.trace_out}")
     if report.result is not None:
         reference = naive_evaluate(query, database)
         ok = report.result.as_multiset() == reference.as_multiset()
         print("differential check vs naive evaluator:", "PASS" if ok else "FAIL")
         return 0 if ok else 1
     return 1
+
+
+def _traced_run(sql: str | None, workload: str, rules: str):
+    """Optimize (and execute) a query with full observability attached;
+    shared by ``trace`` and ``analyze``."""
+    catalog, database = _load_workload(workload)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    optimizer = StarburstOptimizer(
+        catalog, rules=_rule_set(rules), tracer=tracer, metrics=metrics
+    )
+    query = figure1_query(catalog) if sql is None else sql
+    result = optimizer.optimize(query)
+    return database, tracer, metrics, result
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.self_check:
+        return _trace_self_check()
+    database, tracer, metrics, result = _traced_run(
+        args.sql, args.workload, args.rules
+    )
+    answer = QueryExecutor(database, tracer=tracer).run(
+        result.query, result.best_plan
+    )
+    with open(args.out, "w") as handle:
+        handle.write(tracer.to_chrome())
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            handle.write(tracer.to_jsonl() + "\n")
+    print(f"query: {result.query}")
+    print(f"executed: {len(answer)} rows, {answer.stats.total_io} page I/Os")
+    counts = tracer.category_counts()
+    total = sum(counts.values())
+    print(f"{total} trace event(s) ({tracer.dropped} dropped):")
+    for cat in sorted(counts):
+        print(f"  {cat:<10} {counts[cat]}")
+    print(f"Chrome trace written to {args.out} "
+          "(load in chrome://tracing or Perfetto)")
+    if args.jsonl:
+        print(f"JSONL event log written to {args.jsonl}")
+    return 0
+
+
+def _trace_self_check() -> int:
+    """Trace the paper demo end to end and validate every exported event
+    against the schema — the CI lint behind ``trace --self-check``."""
+    import json as _json
+
+    database, tracer, metrics, result = _traced_run(
+        None, "paper-distributed", "extended"
+    )
+    QueryExecutor(database, tracer=tracer).run(result.query, result.best_plan)
+    errors = validate_jsonl(tracer.to_jsonl())
+    try:
+        chrome = _json.loads(tracer.to_chrome())
+        if not chrome.get("traceEvents"):
+            errors.append("chrome export: no traceEvents")
+    except ValueError as exc:
+        errors.append(f"chrome export is not valid JSON: {exc}")
+    if tracer.open_spans:
+        errors.append(f"{tracer.open_spans} span(s) left open")
+    if not metrics.snapshot():
+        errors.append("metrics registry is empty after a traced run")
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    verdict = "PASS" if not errors else "FAIL"
+    print(f"trace self-check: {verdict} "
+          f"({len(tracer)} event(s), {len(metrics)} metric(s))")
+    return 0 if not errors else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    database, tracer, metrics, result = _traced_run(
+        args.sql, args.workload, args.rules
+    )
+    report = explain_analyze(result, database, tracer=tracer, metrics=metrics)
+    print(f"query: {result.query}")
+    print(report.render())
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    if args.metrics:
+        for name, value in metrics.snapshot().items():
+            print(f"  {name} = {value}")
+    return 0
 
 
 def cmd_rules(args: argparse.Namespace) -> int:
@@ -230,7 +337,42 @@ def main(argv: list[str] | None = None) -> int:
                        help="transfer attempt at which scheduled outages fire")
     chaos.add_argument("--no-retries", action="store_true",
                        help="fail transfers on their first transient error")
+    chaos.add_argument("--trace-out", metavar="FILE",
+                       help="write the structured event log as JSON lines")
     chaos.set_defaults(fn=cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace",
+        help="optimize and execute a query with full tracing",
+    )
+    trace.add_argument("sql", nargs="?", default=None,
+                       help="a SELECT statement (default: Figure-1 query)")
+    trace.add_argument("--workload", default="paper",
+                       help="paper | paper-distributed | chain:N | star:N | clique:N")
+    trace.add_argument("--rules", default="extended", help="base | extended | all")
+    trace.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="Chrome trace_event output file (default: trace.json)")
+    trace.add_argument("--jsonl", metavar="FILE",
+                       help="also write the raw event log as JSON lines")
+    trace.add_argument("--self-check", action="store_true",
+                       help="trace the built-in demo and validate the event "
+                            "stream against the schema (CI lint)")
+    trace.set_defaults(fn=cmd_trace)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="EXPLAIN ANALYZE: per-operator estimated vs actual rows",
+    )
+    analyze.add_argument("sql", nargs="?", default=None,
+                         help="a SELECT statement (default: Figure-1 query)")
+    analyze.add_argument("--workload", default="paper",
+                         help="paper | paper-distributed | chain:N | star:N | clique:N")
+    analyze.add_argument("--rules", default="extended", help="base | extended | all")
+    analyze.add_argument("--json", action="store_true",
+                         help="also print the plan-level summary as JSON")
+    analyze.add_argument("--metrics", action="store_true",
+                         help="also print the full metrics snapshot")
+    analyze.set_defaults(fn=cmd_analyze)
 
     args = parser.parse_args(argv)
     try:

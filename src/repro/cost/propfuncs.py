@@ -23,6 +23,7 @@ right regimes.
 
 from __future__ import annotations
 
+import functools
 from typing import Iterable
 
 from repro.catalog.catalog import Catalog
@@ -98,6 +99,27 @@ def index_matching_predicates(
     return frozenset(matched), eq_prefix
 
 
+def _traced_propfunc(method):
+    """Emit one ``propfunc`` trace instant per property-function
+    evaluation (every successfully constructed LOLEPOP)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        node = method(self, *args, **kwargs)
+        tracer = self.tracer
+        if tracer is not None and isinstance(node, PlanNode):
+            name = node.op if node.flavor is None else f"{node.op}({node.flavor})"
+            tracer.instant(
+                "propfunc", name,
+                card=round(node.props.card, 3),
+                cost=round(self.model.total(node.props.cost), 3),
+                site=node.props.site,
+            )
+        return node
+
+    return wrapper
+
+
 class PlanFactory:
     """Builds plan nodes, computing property vectors as it goes."""
 
@@ -113,6 +135,8 @@ class PlanFactory:
         #: Sites plans must not touch (config-avoided; catalog down-sites
         #: are always avoided on top of these).
         self.avoid_sites = frozenset(avoid_sites)
+        #: Structured-event tracer (installed by StarEngine; None = off).
+        self.tracer = None
 
     def site_usable(self, site: str) -> bool:
         """May plans execute at ``site``?  (Up and not avoided.)"""
@@ -141,6 +165,7 @@ class PlanFactory:
 
     # -- ACCESS ----------------------------------------------------------------
 
+    @_traced_propfunc
     def access_base(
         self,
         table: str,
@@ -192,6 +217,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def access_index(
         self,
         table: str,
@@ -284,6 +310,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def access_temp(
         self,
         stored: PlanNode,
@@ -325,6 +352,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def access_temp_index(
         self,
         stored: PlanNode,
@@ -394,6 +422,7 @@ class PlanFactory:
 
     # -- GET ---------------------------------------------------------------------
 
+    @_traced_propfunc
     def get(
         self,
         input_plan: PlanNode,
@@ -459,6 +488,7 @@ class PlanFactory:
 
     # -- SORT / SHIP / STORE / BUILDIX --------------------------------------------
 
+    @_traced_propfunc
     def sort(self, input_plan: PlanNode, order: Iterable[ColumnRef]) -> PlanNode:
         """SORT the stream into ``order`` (changes the ORDER property)."""
         order = tuple(order)
@@ -498,6 +528,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def ship(self, input_plan: PlanNode, to_site: str) -> PlanNode:
         """SHIP the stream to ``to_site`` (changes the SITE property)."""
         self.catalog.site(to_site)
@@ -527,6 +558,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def store(self, input_plan: PlanNode) -> PlanNode:
         """STORE the stream as a temporary stored table (TEMP := true)."""
         in_props = input_plan.props
@@ -550,6 +582,7 @@ class PlanFactory:
             op=STORE, flavor=None, params=(), inputs=(input_plan,), props=props
         )
 
+    @_traced_propfunc
     def buildix(self, stored: PlanNode, key: Iterable[ColumnRef]) -> PlanNode:
         """BUILDIX: create an index on a stored temp (the dynamically
         created index of section 4.5.3).  Adds to the PATHS property."""
@@ -601,6 +634,7 @@ class PlanFactory:
 
     # -- JOIN / FILTER / UNION ------------------------------------------------------
 
+    @_traced_propfunc
     def join(
         self,
         flavor: str,
@@ -713,6 +747,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def project(self, input_plan: PlanNode, columns: Iterable[ColumnRef]) -> PlanNode:
         """PROJECT: narrow the stream to ``columns`` (drops bytes, keeps
         rows) — lets the semijoin strategy ship only join columns."""
@@ -752,6 +787,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def filter(self, input_plan: PlanNode, preds: Iterable[Predicate]) -> PlanNode:
         """FILTER: apply predicates to a stream (retrofit veneer)."""
         preds = frozenset(preds)
@@ -781,6 +817,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def dedup(self, input_plan: PlanNode, key: Iterable[ColumnRef]) -> PlanNode:
         """DEDUP: keep the first row per ``key`` (hash distinct).
 
@@ -820,6 +857,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def intersect(
         self, left: PlanNode, right: PlanNode, key: Iterable[ColumnRef]
     ) -> PlanNode:
@@ -862,6 +900,7 @@ class PlanFactory:
             props=props,
         )
 
+    @_traced_propfunc
     def union(self, left: PlanNode, right: PlanNode) -> PlanNode:
         """UNION ALL of two compatible streams (same COLS and SITE)."""
         pl, pr = left.props, right.props

@@ -147,6 +147,8 @@ class ChaosEngine:
         self.transient_injected = 0
         self._site_schedule = dict(self.config.site_outages)
         self._link_schedule = {tuple(k): v for k, v in self.config.link_outages}
+        #: Structured-event tracer (installed by callers; None = off).
+        self.tracer = None
 
     # -- health queries -----------------------------------------------------
 
@@ -164,10 +166,17 @@ class ChaosEngine:
     # -- injection points ----------------------------------------------------
 
     def kill_site(self, site: str) -> None:
+        if site not in self.downed_sites and self.tracer is not None:
+            self.tracer.instant("chaos", "site_killed", site=site)
         self.downed_sites.add(site)
 
     def kill_link(self, from_site: str, to_site: str) -> None:
-        self.downed_links.add((from_site, to_site))
+        link = (from_site, to_site)
+        if link not in self.downed_links and self.tracer is not None:
+            self.tracer.instant(
+                "chaos", "link_killed", link=f"{from_site}->{to_site}"
+            )
+        self.downed_links.add(link)
 
     def on_transfer_attempt(self, from_site: str, to_site: str) -> None:
         """Called by :class:`NetworkSim` before each send attempt.
@@ -179,10 +188,10 @@ class ChaosEngine:
         self.attempt_count += 1
         for site, at in self._site_schedule.items():
             if self.attempt_count >= at:
-                self.downed_sites.add(site)
+                self.kill_site(site)
         for link, at in self._link_schedule.items():
             if self.attempt_count >= at:
-                self.downed_links.add(link)
+                self.kill_link(*link)
 
         if self.config.site_failure_prob:
             if self.rng.random() < self.config.site_failure_prob:
@@ -191,7 +200,7 @@ class ChaosEngine:
                     if s not in self.config.protected_sites
                 ]
                 if victims:
-                    self.downed_sites.add(self.rng.choice(victims))
+                    self.kill_site(self.rng.choice(victims))
 
         for site in (from_site, to_site):
             self.check_site(site)

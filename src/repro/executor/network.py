@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 from repro.cost.model import MESSAGE_SIZE, ship_messages
 from repro.errors import LinkError, TransientNetworkError
 from repro.executor.chaos import ChaosEngine, RetryPolicy, SimClock
+from repro.obs.metrics import stats_snapshot
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -40,6 +42,10 @@ class LinkStats:
     #: Simulated seconds spent backing off before retries.
     backoff_seconds: float = 0.0
 
+    def as_dict(self) -> dict[str, float]:
+        """Serialize through the shared metrics-snapshot path."""
+        return stats_snapshot(self)
+
 
 @dataclass
 class NetworkSim:
@@ -51,6 +57,7 @@ class NetworkSim:
     chaos: ChaosEngine | None = None
     retry: RetryPolicy | None = None
     clock: SimClock | None = None
+    tracer: Tracer | None = None
 
     def transfer(self, from_site: str, to_site: str, tuples: int, nbytes: int) -> None:
         """Ship one stream (tuples are batched into messages).
@@ -62,6 +69,8 @@ class NetworkSim:
         """
         link = self.links.setdefault((from_site, to_site), LinkStats())
         policy = self.retry if self.retry is not None else RetryPolicy()
+        tracer = self.tracer
+        route = f"{from_site}->{to_site}"
         attempt = 0
         while True:
             attempt += 1
@@ -72,6 +81,10 @@ class NetworkSim:
             except TransientNetworkError:
                 link.failures += 1
                 if attempt >= policy.max_attempts:
+                    if tracer is not None:
+                        tracer.instant(
+                            "ship", "exhausted", link=route, attempts=attempt
+                        )
                     raise LinkError(
                         from_site,
                         to_site,
@@ -80,6 +93,10 @@ class NetworkSim:
                     ) from None
                 pause = policy.backoff(attempt)
                 if self.total_backoff + pause > policy.timeout_budget:
+                    if tracer is not None:
+                        tracer.instant(
+                            "ship", "budget_exhausted", link=route, attempts=attempt
+                        )
                     raise LinkError(
                         from_site,
                         to_site,
@@ -88,12 +105,24 @@ class NetworkSim:
                     ) from None
                 link.backoff_seconds += pause
                 link.retries += 1
+                if tracer is not None:
+                    tracer.instant(
+                        "ship", "retry",
+                        link=route, attempt=attempt, backoff=round(pause, 4),
+                    )
                 if self.clock is not None:
                     self.clock.advance(pause)
                 continue
             link.messages += ship_messages(nbytes, self.message_size)
             link.bytes_sent += nbytes
             link.tuples += tuples
+            if tracer is not None:
+                tracer.instant(
+                    "ship", "transfer",
+                    link=route, tuples=tuples, bytes=nbytes,
+                    messages=ship_messages(nbytes, self.message_size),
+                    attempts=attempt,
+                )
             return
 
     @property

@@ -30,6 +30,8 @@ from typing import TYPE_CHECKING
 from repro.errors import NetworkError, OptimizationError, ReproError
 from repro.executor.chaos import ChaosConfig, ChaosEngine, RetryPolicy
 from repro.executor.runtime import ExecutionResult, ExecutionStats, QueryExecutor
+from repro.obs.metrics import MetricsRegistry, stats_snapshot
+from repro.obs.trace import Tracer, active_tracer
 from repro.plans.plan import PlanNode, plan_links, plan_sites
 from repro.storage.table import Database
 
@@ -62,6 +64,18 @@ class ExecutionReport:
     result: ExecutionResult | None = None
     #: The plan that finally delivered the result (None on failure).
     final_plan: PlanNode | None = None
+
+    def as_dict(self) -> dict[str, float]:
+        """Serialize through the shared metrics-snapshot path (the same
+        schema chaos reports and OptimizationError diagnostics use)."""
+        return stats_snapshot(
+            self,
+            extras={
+                "succeeded": float(self.succeeded),
+                "downed_sites": len(self.downed_sites),
+                "downed_links": len(self.downed_links),
+            },
+        )
 
     def summary(self) -> str:
         status = "succeeded" if self.succeeded else f"FAILED ({self.error})"
@@ -98,6 +112,8 @@ class ResilientExecutor:
         chaos: ChaosEngine | ChaosConfig | None = None,
         retry: RetryPolicy | None = None,
         max_failovers: int = 8,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.db = database
         self.optimizer = optimizer
@@ -106,13 +122,20 @@ class ResilientExecutor:
         self.chaos = chaos if chaos is not None else ChaosEngine()
         self.retry = retry if retry is not None else RetryPolicy()
         self.max_failovers = max_failovers
+        self.tracer = active_tracer(tracer)
+        self.metrics = metrics
+        if self.tracer is not None and self.chaos.tracer is None:
+            self.chaos.tracer = self.tracer
 
     # -- public API ----------------------------------------------------------
 
     def run(self, opt_result: "OptimizationResult") -> ExecutionReport:
         """Execute ``opt_result.best_plan``, failing over as needed."""
         report = ExecutionReport()
-        executor = QueryExecutor(self.db, chaos=self.chaos, retry=self.retry)
+        tracer = self.tracer
+        executor = QueryExecutor(
+            self.db, chaos=self.chaos, retry=self.retry, tracer=tracer
+        )
         query = opt_result.query
         model = opt_result.engine.ctx.model
         alternatives = list(opt_result.alternatives)
@@ -123,9 +146,17 @@ class ResilientExecutor:
         while plan is not None and report.executions < self.max_failovers + 1:
             tried.add(plan.digest)
             report.executions += 1
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "resilient", "attempt",
+                    number=report.executions, plan=plan.digest,
+                )
             try:
                 result = executor.run(query, plan)
             except NetworkError as exc:
+                if span is not None:
+                    tracer.end(span, failed=True, error=type(exc).__name__)
                 self._absorb(report, executor)
                 report.error = exc
                 report.events.append(
@@ -136,6 +167,8 @@ class ResilientExecutor:
                     replanned = True
                     plan, alternatives, model = self._replan(query, report)
                 continue
+            if span is not None:
+                tracer.end(span, rows=len(result))
             self._absorb(report, executor, result.stats)
             report.succeeded = True
             report.error = None
@@ -151,6 +184,8 @@ class ResilientExecutor:
 
         report.downed_sites = frozenset(self.chaos.downed_sites)
         report.downed_links = frozenset(self.chaos.downed_links)
+        if self.metrics is not None:
+            self.metrics.ingest(report.as_dict(), prefix="resilient.")
         return report
 
     # -- failover steps ------------------------------------------------------
@@ -175,6 +210,11 @@ class ResilientExecutor:
             return None
         best = min(survivors, key=lambda p: model.total(p.props.cost))
         report.sap_failovers += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "resilient", "sap_failover",
+                survivors=len(survivors), plan=best.digest,
+            )
         report.events.append(
             f"SAP failover: {len(survivors)} surviving alternative(s), "
             f"switching to plan {best.digest} "
@@ -204,6 +244,12 @@ class ResilientExecutor:
             for site in marked:
                 catalog.mark_site_up(site)
         report.replans += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "resilient", "replan",
+                plan=fresh.best_plan.digest,
+                alternatives=len(fresh.alternatives),
+            )
         report.events.append(
             f"re-optimized against degraded catalog: new best plan "
             f"{fresh.best_plan.digest} "

@@ -27,6 +27,8 @@ from repro.catalog.schema import AccessPath
 from repro.errors import ExecutionError
 from repro.executor.chaos import ChaosEngine, RetryPolicy, SimClock
 from repro.executor.network import NetworkSim
+from repro.obs.metrics import stats_snapshot
+from repro.obs.trace import Tracer, active_tracer
 from repro.plans.operators import (
     ACCESS,
     BUILDIX,
@@ -78,6 +80,10 @@ class ExecutionStats:
     def total_io(self) -> int:
         return self.page_reads + self.page_writes + self.index_reads + self.index_writes
 
+    def as_dict(self) -> dict[str, float]:
+        """Serialize through the shared metrics-snapshot path."""
+        return stats_snapshot(self, extras={"total_io": self.total_io})
+
 
 @dataclass
 class ExecutionResult:
@@ -111,22 +117,40 @@ class QueryExecutor:
         database: Database,
         chaos: ChaosEngine | None = None,
         retry: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ):
         self.db = database
         self.chaos = chaos
         self.retry = retry
+        #: Structured-event tracer; normalized so that a disabled tracer
+        #: costs exactly as much as no tracer (the <5% overhead budget).
+        self.tracer = active_tracer(tracer)
         #: The NetworkSim of the most recent ``run_plan`` call, kept even
         #: when execution raises — failover code aggregates its stats.
         self.last_network: NetworkSim | None = None
 
     # -- public API ----------------------------------------------------------------
 
-    def run_plan(self, plan: PlanNode) -> tuple[list[Row], ExecutionStats]:
-        """Execute a plan, returning raw stream rows and statistics."""
+    def run_plan(
+        self,
+        plan: PlanNode,
+        node_counts: dict[int, list[int]] | None = None,
+    ) -> tuple[list[Row], ExecutionStats]:
+        """Execute a plan, returning raw stream rows and statistics.
+
+        ``node_counts`` (``id(node) -> [rows, opens]``), when given,
+        switches on per-operator row accounting for EXPLAIN ANALYZE.
+        """
         stats = ExecutionStats()
-        network = NetworkSim(chaos=self.chaos, retry=self.retry, clock=SimClock())
+        network = NetworkSim(
+            chaos=self.chaos, retry=self.retry, clock=SimClock(),
+            tracer=self.tracer,
+        )
         self.last_network = network
-        run = _PlanRun(self.db, stats, network, chaos=self.chaos)
+        run = _PlanRun(
+            self.db, stats, network, chaos=self.chaos,
+            tracer=self.tracer, node_counts=node_counts,
+        )
         started = time.perf_counter()
         io_before = self.db.io.snapshot()
         try:
@@ -148,9 +172,14 @@ class QueryExecutor:
         stats.output_rows = len(rows)
         return rows, stats
 
-    def run(self, query: QueryBlock, plan: PlanNode) -> ExecutionResult:
+    def run(
+        self,
+        query: QueryBlock,
+        plan: PlanNode,
+        node_counts: dict[int, list[int]] | None = None,
+    ) -> ExecutionResult:
         """Execute a plan and apply the query's projection and ORDER BY."""
-        raw, stats = self.run_plan(plan)
+        raw, stats = self.run_plan(plan, node_counts=node_counts)
         projected = []
         for row in raw:
             ctx = RowContext(row)
@@ -190,11 +219,15 @@ class _PlanRun:
         stats: ExecutionStats,
         network: NetworkSim,
         chaos: ChaosEngine | None = None,
+        tracer: Tracer | None = None,
+        node_counts: dict[int, list[int]] | None = None,
     ):
         self.db = db
         self.stats = stats
         self.network = network
         self.chaos = chaos
+        self.tracer = tracer
+        self.node_counts = node_counts
         self._temps: dict[int, TableData] = {}
 
     def _check_site(self, site: str | None) -> None:
@@ -206,9 +239,42 @@ class _PlanRun:
     # -- dispatch --------------------------------------------------------------------
 
     def execute(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
-        for row in self._dispatch(node, bindings):
-            self.stats.tuples_flowed += 1
-            yield row
+        if self.tracer is None and self.node_counts is None:
+            # Fast path: identical to the uninstrumented executor.
+            for row in self._dispatch(node, bindings):
+                self.stats.tuples_flowed += 1
+                yield row
+            return
+        yield from self._execute_observed(node, bindings)
+
+    def _execute_observed(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[Row]:
+        """One traced/counted operator open: a span covering open→close
+        (closed on generator finalization, which under lazy pipelining may
+        happen out of stack order — the tracer's complete-event model
+        handles that) and a ``[rows, opens]`` tally per plan node."""
+        tracer = self.tracer
+        counts = self.node_counts
+        entry = None
+        if counts is not None:
+            entry = counts.setdefault(id(node), [0, 0])
+            entry[1] += 1
+        span = None
+        if tracer is not None:
+            label = node.op if node.flavor is None else f"{node.op}({node.flavor})"
+            span = tracer.begin("executor", label, site=node.props.site or "")
+        rows = 0
+        try:
+            for row in self._dispatch(node, bindings):
+                self.stats.tuples_flowed += 1
+                rows += 1
+                yield row
+        finally:
+            if entry is not None:
+                entry[0] += rows
+            if span is not None:
+                tracer.end(span, rows=rows)
 
     def _dispatch(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
         if node.op == ACCESS:

@@ -1,0 +1,86 @@
+"""Observability: tracing, metrics and EXPLAIN ANALYZE.
+
+The measurement substrate for the reproduction's efficiency claims:
+
+* :class:`~repro.obs.trace.Tracer` — hierarchical, ring-buffered spans
+  over every layer (STAR expansion, Glue, property functions, plan-table
+  probes, executor operators, SHIP/chaos), exportable as JSON lines and
+  Chrome ``trace_event`` format;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  histograms snapshotable as one flat dict, with
+  :func:`~repro.obs.metrics.stats_snapshot` as the single serialization
+  path for every stats dataclass in the repo;
+* :func:`~repro.obs.analyze.explain_analyze` — execute the chosen QEP
+  and join per-operator actual rows against estimated CARD, computing
+  per-operator and plan-level Q-error.
+
+``Observability`` bundles a tracer and a registry for APIs that thread
+both (:class:`~repro.optimizer.optimizer.StarburstOptimizer`,
+:class:`~repro.executor.resilient.ResilientExecutor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.analyze import (
+    AnalyzeReport,
+    OperatorMeasure,
+    explain_analyze,
+    q_error,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    stats_snapshot,
+)
+from repro.obs.trace import (
+    CATEGORIES,
+    EVENT_SCHEMA,
+    PHASES,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    validate_events,
+    validate_jsonl,
+)
+
+
+@dataclass
+class Observability:
+    """A tracer + metrics registry pair, enabled as a unit."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @classmethod
+    def enabled(cls, capacity: int = 65536) -> "Observability":
+        return cls(tracer=Tracer(capacity=capacity), metrics=MetricsRegistry())
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(tracer=Tracer.disabled(), metrics=MetricsRegistry())
+
+
+__all__ = [
+    "AnalyzeReport",
+    "CATEGORIES",
+    "Counter",
+    "EVENT_SCHEMA",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "OperatorMeasure",
+    "PHASES",
+    "TraceEvent",
+    "Tracer",
+    "active_tracer",
+    "explain_analyze",
+    "q_error",
+    "stats_snapshot",
+    "validate_events",
+    "validate_jsonl",
+]

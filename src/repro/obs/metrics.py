@@ -1,0 +1,170 @@
+"""Counters, gauges and histograms behind one flat snapshot.
+
+The repo grew three ad-hoc statistics dataclasses before this module
+(:class:`~repro.stars.engine.ExpansionStats`,
+:class:`~repro.stars.plantable.PlanTableStats`,
+:class:`~repro.executor.runtime.ExecutionStats` plus the per-link
+:class:`~repro.executor.network.LinkStats`), each serializing itself a
+slightly different way.  :func:`stats_snapshot` is now the single
+serialization path: it flattens any stats dataclass into a
+``{name: number}`` dict, so ``OptimizationError`` diagnostics, chaos
+reports and the metrics registry all share one schema.
+
+:class:`MetricsRegistry` is the accumulation side: named counters
+(monotonic), gauges (point-in-time) and histograms (count/sum/min/max),
+snapshotable as one flat dict — the shape benchmark JSON and the CLI
+report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        self.value += n
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming count/sum/min/max over observed values."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with a flat snapshot.
+
+    Names are dotted paths (``optimizer.expansion.star_references``,
+    ``executor.ship_retries``); the snapshot flattens histograms into
+    ``name.count`` / ``name.sum`` / ``name.min`` / ``name.max`` /
+    ``name.mean`` keys so the whole registry serializes as one
+    ``{str: number}`` dict.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        return histogram
+
+    # -- convenience writers ------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def ingest(self, stats: Mapping[str, Any], prefix: str = "") -> None:
+        """Fold a flat stats dict (:func:`stats_snapshot` output) into
+        gauges under ``prefix``."""
+        for key, value in stats.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.set_gauge(prefix + key, value)
+
+    # -- snapshot -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float]:
+        """Every metric as one flat ``{name: number}`` dict."""
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[f"{name}.count"] = histogram.count
+            out[f"{name}.sum"] = histogram.total
+            out[f"{name}.min"] = histogram.minimum if histogram.count else 0.0
+            out[f"{name}.max"] = histogram.maximum if histogram.count else 0.0
+            out[f"{name}.mean"] = histogram.mean
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+def stats_snapshot(
+    stats: Any,
+    prefix: str = "",
+    extras: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """Serialize a stats dataclass into the shared flat-dict schema.
+
+    Only numeric (int/float, non-bool) fields are kept; ``extras`` adds
+    derived values (e.g. ``total_io``, ``hit_rate``) under the same
+    prefix.  This is the one serialization path every stats object in
+    the repo routes through.
+    """
+    out: dict[str, float] = {}
+    for field_def in dataclasses.fields(stats):
+        value = getattr(stats, field_def.name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        out[prefix + field_def.name] = value
+    if extras:
+        for key, value in extras.items():
+            out[prefix + key] = value
+    return out

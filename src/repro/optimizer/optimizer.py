@@ -16,6 +16,8 @@ from repro.catalog.catalog import Catalog
 from repro.config import OptimizerConfig
 from repro.cost.model import CostModel, CostWeights
 from repro.errors import GlueError, OptimizationError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active_tracer
 from repro.optimizer.enumerator import JoinEnumerator
 from repro.plans.plan import PlanNode
 from repro.plans.properties import Requirements
@@ -86,12 +88,18 @@ class StarburstOptimizer:
         registry: FunctionRegistry | None = None,
         config: OptimizerConfig | None = None,
         weights: CostWeights | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.catalog = catalog
         self.rules = rules if rules is not None else extended_rules()
         self.registry = registry if registry is not None else default_registry()
         self.config = config if config is not None else OptimizerConfig()
         self.weights = weights
+        #: Structured observability, threaded into every engine this
+        #: optimizer spins up (None = disabled = zero overhead).
+        self.tracer = active_tracer(tracer)
+        self.metrics = metrics
         validate_rules(self.rules, self.registry, raise_on_error=True)
 
     def optimize(self, query: QueryBlock | str) -> OptimizationResult:
@@ -114,7 +122,13 @@ class StarburstOptimizer:
             registry=self.registry,
             config=self.config,
             model=model,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
+        tracer = engine.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin("optimizer", "optimize", query=str(query))
         try:
             enumerator = JoinEnumerator(engine)
             enumerator.run()
@@ -126,24 +140,45 @@ class StarburstOptimizer:
             final_stream = Stream(query.table_set, requirements)
             alternatives = engine.ctx.glue.resolve(final_stream)
         except OptimizationError:
+            if tracer is not None:
+                tracer.end(span, failed=True)
             raise
         except (GlueError, ReproError) as exc:
+            if tracer is not None:
+                tracer.end(span, failed=True)
             # Surface how much search had happened when optimization died
             # — the diagnostics a DBC needs to see whether rules fired at
-            # all or pruning starved the plan table.
+            # all or pruning starved the plan table.  Both stat blocks go
+            # through the shared metrics-snapshot schema.
             raise OptimizationError(
                 f"optimization failed for query {query}: {exc}",
                 expansion_stats=engine.stats.as_dict(),
-                plan_table_stats=engine.plan_table.stats,
+                plan_table_stats=engine.plan_table.stats.as_dict(),
             ) from exc
         best = alternatives.cheapest(engine.ctx.model)
         if best is None:
+            if tracer is not None:
+                tracer.end(span, failed=True)
             raise OptimizationError(
                 f"no plan produced for query {query}",
                 expansion_stats=engine.stats.as_dict(),
-                plan_table_stats=engine.plan_table.stats,
+                plan_table_stats=engine.plan_table.stats.as_dict(),
             )
         elapsed = time.perf_counter() - started
+        if tracer is not None:
+            tracer.end(
+                span,
+                plans=len(alternatives),
+                cost=round(engine.ctx.model.total(best.props.cost), 3),
+            )
+        if self.metrics is not None:
+            self.metrics.ingest(engine.stats.as_dict(), prefix="optimizer.")
+            self.metrics.ingest(
+                engine.plan_table.stats.as_dict(), prefix="plantable."
+            )
+            self.metrics.observe(
+                "optimizer.elapsed_seconds", elapsed
+            )
         return OptimizationResult(
             query=query,
             best_plan=best,

@@ -64,6 +64,8 @@ from repro.stars.ast import (
     StarRef,
     Term,
 )
+from repro.obs.metrics import MetricsRegistry, stats_snapshot
+from repro.obs.trace import Tracer, active_tracer
 from repro.stars.glue import Glue
 from repro.stars.plantable import PlanTable
 from repro.stars.registry import FunctionRegistry, default_registry
@@ -89,18 +91,10 @@ class ExpansionStats:
     veneers_added: int = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "star_references": self.star_references,
-            "memo_hits": self.memo_hits,
-            "alternatives_considered": self.alternatives_considered,
-            "conditions_evaluated": self.conditions_evaluated,
-            "lolepop_calls": self.lolepop_calls,
-            "plans_emitted": self.plans_emitted,
-            "combos_skipped": self.combos_skipped,
-            "glue_references": self.glue_references,
-            "forall_iterations": self.forall_iterations,
-            "veneers_added": self.veneers_added,
-        }
+        """Serialize through the shared metrics-snapshot path, so
+        OptimizationError diagnostics, chaos reports and the metrics
+        registry all see one schema."""
+        return stats_snapshot(self)
 
 
 class RuleContext:
@@ -115,6 +109,8 @@ class RuleContext:
         registry: FunctionRegistry,
         factory: PlanFactory,
         plan_table: PlanTable,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.catalog = catalog
         self.query = query
@@ -130,7 +126,9 @@ class RuleContext:
         self.stats = ExpansionStats()
         self.access_root = ACCESS_ROOT
         self.interesting = query.interesting_order_columns()
-        self.trace_lines: list[str] = []
+        #: Structured observability (None = disabled = zero overhead).
+        self.tracer = tracer
+        self.metrics = metrics
         # Back-references installed by StarEngine.__init__.
         self.engine: "StarEngine" = None  # type: ignore[assignment]
         self.glue: Glue = None  # type: ignore[assignment]
@@ -148,9 +146,17 @@ class StarEngine:
         config: OptimizerConfig | None = None,
         model: CostModel | None = None,
         plan_table: PlanTable | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         config = config if config is not None else OptimizerConfig()
+        tracer = active_tracer(tracer)
+        if tracer is None and config.trace:
+            # ``config.trace`` keeps its PR-1 meaning — collect an
+            # expansion trace — but the substrate is now structured events.
+            tracer = Tracer()
         factory = PlanFactory(catalog, model, avoid_sites=config.avoid_sites)
+        factory.tracer = tracer
         if plan_table is None:
             plan_table = PlanTable(
                 factory.model,
@@ -158,6 +164,7 @@ class StarEngine:
                 interesting=query.interesting_order_columns(),
                 site_diversity=config.retain_site_diversity,
             )
+        plan_table.tracer = tracer
         self.ctx = RuleContext(
             catalog=catalog,
             query=query,
@@ -166,6 +173,8 @@ class StarEngine:
             registry=registry if registry is not None else default_registry(),
             factory=factory,
             plan_table=plan_table,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.ctx.engine = self
         self.ctx.glue = Glue(self.ctx)
@@ -188,14 +197,36 @@ class StarEngine:
         return self._expand_star(star, tuple(args))
 
     def trace(self) -> str:
-        """The collected expansion trace (empty unless config.trace)."""
-        return "\n".join(self.ctx.trace_lines)
+        """The expansion trace rendered from structured events (empty
+        unless tracing is on — ``config.trace`` or an attached Tracer)."""
+        tracer = self.ctx.tracer
+        if tracer is None:
+            return ""
+        lines = []
+        for event in tracer.events():
+            if event.ph == "X" and event.cat == "star":
+                lines.append(
+                    f"{'  ' * event.depth}{event.name}"
+                    f"({event.args.get('args', '')}) -> "
+                    f"{event.args.get('plans', 0)} plan(s)"
+                )
+        return "\n".join(lines)
+
+    @property
+    def tracer(self) -> Tracer | None:
+        return self.ctx.tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        return self.ctx.metrics
 
     # -- STAR expansion --------------------------------------------------------------
 
     def _expand_star(self, star: StarDef, args: tuple) -> SAP:
         ctx = self.ctx
         ctx.stats.star_references += 1
+        if ctx.metrics is not None:
+            ctx.metrics.inc(f"optimizer.rule.{star.name}.fired")
         if len(args) != len(star.params):
             raise RuleError(
                 f"STAR {star.name} takes {len(star.params)} argument(s), "
@@ -205,6 +236,10 @@ class StarEngine:
         cached = self._memo.get(key)
         if cached is not None:
             ctx.stats.memo_hits += 1
+            if ctx.tracer is not None:
+                ctx.tracer.instant(
+                    "star", star.name, memo_hit=True, plans=len(cached)
+                )
             return cached
 
         if self._depth >= ctx.config.max_depth:
@@ -212,7 +247,15 @@ class StarEngine:
                 f"expansion depth limit ({ctx.config.max_depth}) exceeded at "
                 f"STAR {star.name}: the rule set likely contains a cycle"
             )
+        tracer = ctx.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "star", star.name,
+                args=", ".join(_short(a) for a in args),
+            )
         self._depth += 1
+        result: SAP | None = None
         try:
             env: dict[str, Any] = dict(zip(star.params, args))
             for bound, expr in star.bindings:
@@ -220,12 +263,12 @@ class StarEngine:
             result = self._eval_alternatives(star, env)
         finally:
             self._depth -= 1
+            if tracer is not None:
+                if result is None:
+                    tracer.end(span, failed=True)
+                else:
+                    tracer.end(span, plans=len(result))
 
-        if ctx.config.trace:
-            ctx.trace_lines.append(
-                f"{'  ' * self._depth}{star.name}"
-                f"({', '.join(_short(a) for a in args)}) -> {len(result)} plan(s)"
-            )
         self._memo[key] = result
         return result
 

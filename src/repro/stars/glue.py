@@ -52,6 +52,24 @@ class Glue:
     ) -> SAP:
         """Produce plans for ``stream`` satisfying its accumulated
         requirements, pushing ``extra_preds`` down into the stream."""
+        tracer = self._ctx.tracer
+        if tracer is None:
+            return self._resolve(stream, extra_preds, mode)
+        span = tracer.begin("glue", "resolve", stream=str(stream))
+        try:
+            result = self._resolve(stream, extra_preds, mode)
+        except Exception:
+            tracer.end(span, failed=True)
+            raise
+        tracer.end(span, plans=len(result))
+        return result
+
+    def _resolve(
+        self,
+        stream: Stream,
+        extra_preds: Iterable[Predicate] = (),
+        mode: str | None = None,
+    ) -> SAP:
         ctx = self._ctx
         ctx.stats.glue_references += 1
         req = stream.requirements.merged(
@@ -97,6 +115,19 @@ class Glue:
     def augment(self, sap: SAP, req: Requirements) -> SAP:
         """Apply veneers to already-resolved plans (used when a rule puts
         required properties on a SAP-valued argument)."""
+        tracer = self._ctx.tracer
+        if tracer is None:
+            return self._augment(sap, req)
+        span = tracer.begin("glue", "augment", req=str(req), candidates=len(sap))
+        try:
+            result = self._augment(sap, req)
+        except Exception:
+            tracer.end(span, failed=True)
+            raise
+        tracer.end(span, plans=len(result))
+        return result
+
+    def _augment(self, sap: SAP, req: Requirements) -> SAP:
         plans: list[PlanNode] = []
         for plan in sap:
             if req.paths is not None or req.temp:
@@ -202,6 +233,10 @@ class Glue:
                 variants.append(sorted_plan)
         for variant in variants:
             ctx.stats.veneers_added += 1
+            if ctx.tracer is not None:
+                ctx.tracer.instant(
+                    "glue", "veneer", op=variant.op, flavor=variant.flavor
+                )
         return variants
 
     def _materialize_veneer(
@@ -264,10 +299,14 @@ class Glue:
             )
             if probe is not None:
                 ctx.stats.veneers_added += 1
+                if ctx.tracer is not None:
+                    ctx.tracer.instant("glue", "veneer", op="ACCESS", flavor="index")
                 results.append(probe)
         else:
             scan = self._try(lambda s=stored: factory.access_temp(s, preds=sideways))
             if scan is not None:
                 ctx.stats.veneers_added += 1
+                if ctx.tracer is not None:
+                    ctx.tracer.instant("glue", "veneer", op="ACCESS", flavor="temp")
                 results.append(scan)
         return results

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.cost.model import CostModel
+from repro.obs.metrics import stats_snapshot
 from repro.plans.plan import PlanNode
 from repro.plans.sap import SAP
 from repro.query.predicates import Predicate
@@ -44,6 +45,10 @@ class PlanTableStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> dict[str, float]:
+        """Serialize through the shared metrics-snapshot path."""
+        return stats_snapshot(self, extras={"hit_rate": self.hit_rate()})
+
 
 class PlanTable:
     """Alternative plans per (TABLES, PREDS) equivalence class."""
@@ -58,6 +63,8 @@ class PlanTable:
         self._entries: dict[PlanKey, SAP] = {}
         self._build_counts: dict[PlanKey, int] = {}
         self.stats = PlanTableStats()
+        #: Structured-event tracer (installed by StarEngine; None = off).
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -68,6 +75,13 @@ class PlanTable:
         key = plan_key(tables, preds)
         self.stats.lookups += 1
         sap = self._entries.get(key)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "plantable", "probe",
+                tables=",".join(sorted(key[0])),
+                preds=len(key[1]),
+                hit=sap is not None,
+            )
         if sap is None:
             self.stats.misses += 1
             return None
@@ -96,6 +110,14 @@ class PlanTable:
         self.stats.plans_pruned += before - len(merged)
         self._entries[key] = merged
         self._build_counts[key] = self._build_counts.get(key, 0) + 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "plantable", "insert",
+                tables=",".join(sorted(key[0])),
+                inserted=before,
+                pruned=before - len(merged),
+                surviving=len(merged),
+            )
         return merged
 
     def keys(self) -> tuple[PlanKey, ...]:

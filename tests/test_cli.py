@@ -80,3 +80,70 @@ class TestRules:
         out = capsys.readouterr().out
         assert "INVALID" in out
         assert "Missing" in out
+
+
+class TestTrace:
+    def test_trace_writes_chrome_file(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace event(s)" in out
+        assert "star" in out and "executor" in out
+        data = json.loads(out_file.read_text())
+        assert data["traceEvents"]
+        assert {e["ph"] for e in data["traceEvents"]} <= {"X", "i"}
+
+    def test_trace_jsonl_output_validates(self, tmp_path):
+        from repro.obs import validate_jsonl
+
+        out_file = tmp_path / "trace.json"
+        jsonl_file = tmp_path / "trace.jsonl"
+        assert main([
+            "trace", "SELECT MGR FROM DEPT",
+            "--out", str(out_file), "--jsonl", str(jsonl_file),
+        ]) == 0
+        assert validate_jsonl(jsonl_file.read_text()) == []
+
+    def test_self_check_passes(self, capsys):
+        assert main(["trace", "--self-check"]) == 0
+        out = capsys.readouterr().out
+        assert "trace self-check: PASS" in out
+
+
+class TestAnalyze:
+    def test_analyze_prints_operator_table(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "operator" in out and "q-error" in out
+        assert "est rows" in out and "act rows" in out
+        assert "plan-level Q-error" in out
+
+    def test_analyze_with_sql_and_json(self, capsys):
+        assert main([
+            "analyze", "SELECT NAME FROM EMP WHERE ENO = 3", "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"plan_q_error"' in out
+
+    def test_analyze_metrics_snapshot(self, capsys):
+        assert main(["analyze", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze.plan_q_error" in out
+
+
+class TestChaosTraceOut:
+    def test_chaos_writes_jsonl_artifact(self, tmp_path, capsys):
+        from repro.obs import validate_jsonl
+
+        out_file = tmp_path / "chaos.jsonl"
+        assert main([
+            "chaos", "--kill-site", "N.Y.", "--link-failure-prob", "0.1",
+            "--trace-out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "JSONL event log" in out
+        text = out_file.read_text()
+        assert validate_jsonl(text) == []
+        assert '"cat": "chaos"' in text

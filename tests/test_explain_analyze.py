@@ -1,0 +1,213 @@
+"""Tests for EXPLAIN ANALYZE (repro.obs.analyze) and trace determinism."""
+
+import math
+
+import pytest
+
+from repro.executor.chaos import ChaosConfig, ChaosEngine, RetryPolicy
+from repro.executor.resilient import ResilientExecutor
+from repro.obs import MetricsRegistry, Tracer, explain_analyze, q_error
+from repro.obs.analyze import plan_walk
+from repro.optimizer import StarburstOptimizer
+from repro.config import OptimizerConfig
+from repro.workloads.paper import (
+    figure1_query,
+    paper_catalog,
+    paper_database,
+    paper_three_table_query,
+    with_proj,
+)
+
+
+class TestQErrorMath:
+    def test_perfect_estimate_is_one(self):
+        assert q_error(10, 10) == 1.0
+
+    def test_symmetric_over_and_under(self):
+        assert q_error(100, 50) == 2.0
+        assert q_error(50, 100) == 2.0
+
+    def test_floor_prevents_division_by_zero(self):
+        assert q_error(0.3, 0) == 1.0  # both sides floored to 1.0
+        assert q_error(0, 0) == 1.0
+
+    def test_small_estimate_vs_real_rows(self):
+        assert q_error(0.5, 4) == 4.0  # est floored to 1, act 4
+
+
+@pytest.fixture(scope="module")
+def three_table():
+    """The paper workload with PROJ: a two-join query, optimized."""
+    catalog = paper_catalog()
+    database = paper_database(catalog)
+    with_proj(catalog, database)
+    query = paper_three_table_query(catalog)
+    result = StarburstOptimizer(catalog).optimize(query)
+    return database, result
+
+
+class TestExplainAnalyze:
+    def test_two_join_plan_q_errors_recompute_by_hand(self, three_table):
+        """Every reported per-operator Q-error equals the hand formula
+        q = max(est, act/loops)/min(est, act/loops), floored at 1."""
+        database, result = three_table
+        report = explain_analyze(result, database)
+        assert len(report.operators) >= 5  # two joins plus their inputs
+        executed = [m for m in report.operators if m.loops > 0]
+        assert executed, "at least the root must have executed"
+        for measure in executed:
+            est = max(measure.estimated_rows, 1.0)
+            act = max(measure.actual_rows / measure.loops, 1.0)
+            assert measure.q_error == pytest.approx(max(est / act, act / est))
+
+    def test_plan_level_q_error_is_root_card_vs_output_rows(self, three_table):
+        database, result = three_table
+        report = explain_analyze(result, database)
+        expected = q_error(
+            result.best_plan.props.card, report.result.stats.output_rows
+        )
+        assert report.plan_q_error == pytest.approx(expected)
+
+    def test_aggregates_recompute(self, three_table):
+        database, result = three_table
+        report = explain_analyze(result, database)
+        qs = [m.q_error for m in report.operators if m.q_error is not None]
+        assert report.max_q_error == pytest.approx(max(qs))
+        geo = math.exp(sum(math.log(q) for q in qs) / len(qs))
+        assert report.mean_q_error == pytest.approx(geo)
+
+    def test_operators_cover_the_plan(self, three_table):
+        database, result = three_table
+        report = explain_analyze(result, database)
+        walked = [node for node, _ in plan_walk(result.best_plan)]
+        assert [m.node for m in report.operators] == walked
+        assert report.operators[0].node is result.best_plan
+        assert report.operators[0].depth == 0
+
+    def test_root_actuals_match_result(self, three_table):
+        database, result = three_table
+        report = explain_analyze(result, database)
+        root = report.operators[0]
+        assert root.loops == 1
+        assert root.actual_rows == len(report.result.rows)
+
+    def test_render_contains_table_and_summary(self, three_table):
+        database, result = three_table
+        report = explain_analyze(result, database)
+        text = report.render()
+        assert "operator" in text and "q-error" in text
+        assert "plan-level Q-error" in text
+        assert "JOIN" in text
+
+    def test_as_dict_is_flat_numeric(self, three_table):
+        database, result = three_table
+        report = explain_analyze(result, database)
+        snap = report.as_dict()
+        assert snap["operators"] == len(report.operators)
+        assert all(isinstance(v, (int, float)) for v in snap.values())
+
+    def test_metrics_ingested(self, three_table):
+        database, result = three_table
+        metrics = MetricsRegistry()
+        explain_analyze(result, database, metrics=metrics)
+        snap = metrics.snapshot()
+        assert "analyze.plan_q_error" in snap
+        assert "executor.output_rows" in snap
+        assert any(key.startswith("executor.op.JOIN.") for key in snap)
+
+    def test_tracer_captures_executor_spans(self, three_table):
+        database, result = three_table
+        tracer = Tracer()
+        explain_analyze(result, database, tracer=tracer)
+        counts = tracer.category_counts()
+        assert counts.get("executor", 0) >= len(
+            [m for m in plan_walk(result.best_plan)]
+        ) - 1  # every operator opened at least once (loops may share spans)
+
+    def test_nl_inner_loops_hand_computed(self):
+        """An NL-join inner stream opens once per outer row; node_counts
+        records [total rows, opens] so rows/loop matches per-probe CARD.
+
+        L has keys 0..9 (one row each); R has keys 0..4 twice.  The inner
+        scan of R under the pushed join predicate therefore opens 10
+        times and yields 2 rows for 5 of the probes: [20, 10]."""
+        from repro.catalog import AccessPath, Catalog, TableDef
+        from repro.catalog.catalog import make_columns
+        from repro.cost.propfuncs import PlanFactory
+        from repro.executor import QueryExecutor
+        from repro.query.expressions import ColumnRef
+        from repro.query.parser import parse_predicate
+        from repro.storage import Database
+
+        catalog = Catalog()
+        catalog.add_table(TableDef("L", make_columns("K", "V")))
+        catalog.add_table(TableDef("R", make_columns("K", "W")))
+        database = Database(catalog)
+        database.create_storage("L")
+        database.create_storage("R")
+        database.load("L", [(k, k * 10) for k in range(10)])
+        database.load("R", [(k % 5, k) for k in range(10)])
+        database.analyze_all()
+
+        factory = PlanFactory(catalog)
+        pred = parse_predicate("L.K = R.K", catalog, ("L", "R"))
+        l_cols = {ColumnRef("L", "K"), ColumnRef("L", "V")}
+        r_cols = {ColumnRef("R", "K"), ColumnRef("R", "W")}
+        outer = factory.access_base("L", l_cols, set())
+        inner = factory.access_base("R", r_cols, {pred})
+        join = factory.join("NL", outer, inner, {pred})
+
+        counts: dict[int, list[int]] = {}
+        rows, _ = QueryExecutor(database).run_plan(join, node_counts=counts)
+        assert counts[id(outer)] == [10, 1]
+        assert counts[id(inner)] == [10, 10]  # 2 rows x 5 probes, 0 x 5
+        assert counts[id(join)] == [len(rows), 1] == [10, 1]
+        # rows-per-loop is what CARD estimates for the inner.
+        inner_rows, inner_loops = counts[id(inner)]
+        assert inner_rows / inner_loops == 1.0
+
+
+class TestDeterministicEventStreams:
+    def _traced_chaos_run(self, seed: int):
+        catalog = paper_catalog(distributed=True, replicate_dept=True)
+        database = paper_database(catalog)
+        tracer = Tracer()
+        optimizer = StarburstOptimizer(
+            catalog,
+            config=OptimizerConfig(retain_site_diversity=True),
+            tracer=tracer,
+        )
+        result = optimizer.optimize(figure1_query(catalog))
+        chaos = ChaosEngine(ChaosConfig(
+            seed=seed,
+            link_failure_prob=0.25,
+            site_outages=(("N.Y.", 1),),
+            protected_sites=frozenset({catalog.query_site}),
+        ))
+        executor = ResilientExecutor(
+            database, optimizer, chaos=chaos, retry=RetryPolicy(),
+            tracer=tracer,
+        )
+        report = executor.run(result)
+        return tracer, report
+
+    def test_same_seed_same_signature(self):
+        first, report_a = self._traced_chaos_run(seed=11)
+        second, report_b = self._traced_chaos_run(seed=11)
+        assert len(first) > 0
+        assert first.signature() == second.signature()
+        assert report_a.succeeded == report_b.succeeded
+
+    def test_chaos_and_ship_events_present(self):
+        tracer, report = self._traced_chaos_run(seed=11)
+        counts = tracer.category_counts()
+        assert counts.get("chaos", 0) >= 1  # the scheduled N.Y. outage
+        assert counts.get("ship", 0) >= 1
+        assert counts.get("resilient", 0) >= 1
+        assert counts.get("optimizer", 0) >= 1
+
+    def test_failover_reflected_in_report_dict(self):
+        tracer, report = self._traced_chaos_run(seed=11)
+        snap = report.as_dict()
+        assert snap["executions"] == report.executions
+        assert snap["downed_sites"] >= 1

@@ -1,0 +1,116 @@
+"""Tests for the metrics registry and the shared stats-snapshot path."""
+
+from repro.executor.network import LinkStats
+from repro.executor.resilient import ExecutionReport
+from repro.executor.runtime import ExecutionStats
+from repro.obs.metrics import MetricsRegistry, stats_snapshot
+from repro.stars.engine import ExpansionStats
+from repro.stars.plantable import PlanTableStats
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.inc("optimizer.rule.JoinRoot.fired")
+        metrics.inc("optimizer.rule.JoinRoot.fired", 2)
+        assert metrics.snapshot()["optimizer.rule.JoinRoot.fired"] == 3
+
+    def test_gauge_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("executor.output_rows", 10)
+        metrics.set_gauge("executor.output_rows", 7)
+        assert metrics.snapshot()["executor.output_rows"] == 7
+
+    def test_histogram_flattens_into_five_keys(self):
+        metrics = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            metrics.observe("analyze.q_error", value)
+        snap = metrics.snapshot()
+        assert snap["analyze.q_error.count"] == 3
+        assert snap["analyze.q_error.sum"] == 6.0
+        assert snap["analyze.q_error.min"] == 1.0
+        assert snap["analyze.q_error.max"] == 3.0
+        assert snap["analyze.q_error.mean"] == 2.0
+
+    def test_empty_histogram_snapshot_is_finite(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("empty")
+        snap = metrics.snapshot()
+        assert snap["empty.min"] == 0.0 and snap["empty.max"] == 0.0
+
+    def test_snapshot_is_sorted_and_flat(self):
+        metrics = MetricsRegistry()
+        metrics.inc("b")
+        metrics.set_gauge("a", 1.0)
+        snap = metrics.snapshot()
+        assert list(snap) == sorted(snap)
+        assert all(isinstance(v, (int, float)) for v in snap.values())
+
+    def test_ingest_prefixes_and_skips_non_numeric(self):
+        metrics = MetricsRegistry()
+        metrics.ingest({"rows": 5, "name": "x", "ok": True}, prefix="executor.")
+        snap = metrics.snapshot()
+        assert snap == {"executor.rows": 5}
+
+    def test_len_counts_all_kinds(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.set_gauge("b", 1)
+        metrics.observe("c", 1)
+        assert len(metrics) == 3
+
+
+class TestStatsSnapshotSchema:
+    """One serialization path for every stats dataclass in the repo."""
+
+    def test_expansion_stats(self):
+        stats = ExpansionStats(star_references=4, memo_hits=1)
+        snap = stats.as_dict()
+        assert snap["star_references"] == 4 and snap["memo_hits"] == 1
+        assert snap == stats_snapshot(stats)
+
+    def test_plan_table_stats_with_derived_hit_rate(self):
+        stats = PlanTableStats(lookups=4, hits=1, misses=3)
+        snap = stats.as_dict()
+        assert snap["hit_rate"] == 0.25
+        assert snap["lookups"] == 4
+
+    def test_execution_stats_with_derived_total_io(self):
+        stats = ExecutionStats(page_reads=2, index_reads=3, output_rows=9)
+        snap = stats.as_dict()
+        assert snap["total_io"] == 5 and snap["output_rows"] == 9
+
+    def test_link_stats(self):
+        stats = LinkStats(messages=2, retries=1, backoff_seconds=0.05)
+        snap = stats.as_dict()
+        assert snap["messages"] == 2 and snap["backoff_seconds"] == 0.05
+
+    def test_execution_report_numeric_only(self):
+        report = ExecutionReport(executions=2, sap_failovers=1)
+        report.succeeded = True
+        report.downed_sites = frozenset({"N.Y."})
+        snap = report.as_dict()
+        assert snap["executions"] == 2
+        assert snap["succeeded"] == 1.0
+        assert snap["downed_sites"] == 1
+        # Non-numeric fields (events, result, error) never leak in.
+        assert all(isinstance(v, (int, float)) for v in snap.values())
+
+    def test_prefix_applies_to_every_key(self):
+        stats = ExpansionStats(star_references=1)
+        snap = stats_snapshot(stats, prefix="optimizer.")
+        assert all(key.startswith("optimizer.") for key in snap)
+
+    def test_all_stats_ingest_into_one_registry(self):
+        metrics = MetricsRegistry()
+        metrics.ingest(ExpansionStats().as_dict(), prefix="optimizer.")
+        metrics.ingest(PlanTableStats().as_dict(), prefix="plantable.")
+        metrics.ingest(ExecutionStats().as_dict(), prefix="executor.")
+        metrics.ingest(LinkStats().as_dict(), prefix="link.")
+        metrics.ingest(ExecutionReport().as_dict(), prefix="resilient.")
+        snap = metrics.snapshot()
+        assert "optimizer.star_references" in snap
+        assert "plantable.hit_rate" in snap
+        assert "executor.total_io" in snap
+        assert "link.bytes_sent" in snap
+        assert "resilient.sap_failovers" in snap
