@@ -48,6 +48,7 @@ from repro.catalog import (
 from repro.config import OptimizerConfig
 from repro.cost import Cost, CostModel, CostWeights
 from repro.errors import (
+    CardinalityViolation,
     CatalogError,
     ExecutionError,
     ExpansionError,
@@ -87,6 +88,16 @@ from repro.optimizer import OptimizationResult, StarburstOptimizer
 from repro.plans import PlanNode, PropertyVector, Requirements, SAP, Stream
 from repro.plans.plan import render_functional, render_tree
 from repro.query import QueryBlock, parse_predicate, parse_query
+from repro.robust import (
+    AdaptiveExecutor,
+    AdaptiveReport,
+    BudgetExhausted,
+    CheckpointIterator,
+    CheckpointPolicy,
+    FeedbackCache,
+    OptimizerBudget,
+    heuristic_plan,
+)
 from repro.stars import StarEngine, parse_rules, validate_rules
 from repro.stars.builtin_rules import default_rules, extended_rules
 from repro.storage import Database
@@ -96,9 +107,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessPath",
+    "AdaptiveExecutor",
+    "AdaptiveReport",
     "AnalyzeReport",
+    "BudgetExhausted",
+    "CardinalityViolation",
     "Catalog",
     "CatalogError",
+    "CheckpointIterator",
+    "CheckpointPolicy",
     "ChaosConfig",
     "ChaosEngine",
     "ColumnDef",
@@ -110,6 +127,7 @@ __all__ = [
     "ExecutionError",
     "ExecutionReport",
     "ExpansionError",
+    "FeedbackCache",
     "GlueError",
     "LinkError",
     "MetricsRegistry",
@@ -117,6 +135,7 @@ __all__ = [
     "Observability",
     "OptimizationError",
     "OptimizationResult",
+    "OptimizerBudget",
     "OptimizerConfig",
     "ParseError",
     "PlanNode",
@@ -146,6 +165,7 @@ __all__ = [
     "default_rules",
     "explain_analyze",
     "extended_rules",
+    "heuristic_plan",
     "naive_evaluate",
     "parse_predicate",
     "parse_query",

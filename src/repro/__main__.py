@@ -15,6 +15,14 @@ Subcommands:
   stream against the schema instead — the CI lint).
 * ``analyze`` — EXPLAIN ANALYZE: execute the chosen plan and print the
   per-operator estimated-vs-actual row table with Q-errors.
+* ``adaptive`` — run a deliberately-misestimated workload under the
+  adaptive executor: cardinality checkpoints abort bad plans, feed the
+  observed rows back, and re-optimize (``--budget`` additionally bounds
+  the optimizer with an anytime fallback).
+* ``validate`` — statically lint a rule set (builtin or a DBC's file);
+  the exit code reflects errors, and ``--strict`` also fails on
+  warnings such as an exclusive STAR with no unconditional final
+  alternative.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ from repro.stars.builtin_rules import (
     default_rules,
     extended_rules,
 )
+from repro.robust import AdaptiveExecutor, OptimizerBudget
 from repro.stars.registry import default_registry
 from repro.workloads import (
     chain_workload,
@@ -54,6 +63,7 @@ from repro.workloads import (
     figure1_query,
     paper_catalog,
     paper_database,
+    skewed_workload,
     star_workload,
 )
 
@@ -265,6 +275,115 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_budget(spec: str) -> OptimizerBudget:
+    """Budget spec ``E[:P[:T]]``: max expansions, plans, deadline ticks."""
+    parts = spec.split(":")
+    if not 1 <= len(parts) <= 3 or not all(p.strip() for p in parts):
+        raise SystemExit(
+            f"--budget expects E[:P[:T]] (positive integers), got {spec!r}"
+        )
+    try:
+        numbers = [int(p) for p in parts]
+    except ValueError:
+        raise SystemExit(
+            f"--budget expects E[:P[:T]] (positive integers), got {spec!r}"
+        ) from None
+    numbers += [None] * (3 - len(numbers))
+    try:
+        return OptimizerBudget(
+            max_expansions=numbers[0],
+            max_plans=numbers[1],
+            deadline_ticks=numbers[2],
+        )
+    except ValueError as exc:
+        raise SystemExit(f"--budget: {exc}") from None
+
+
+def cmd_adaptive(args: argparse.Namespace) -> int:
+    """Run the misestimated E12 workload statically, then adaptively."""
+    from repro.cost.model import CostWeights
+    from repro.robust.adaptive import executed_cost
+    from repro.stars.builtin_rules import extended_rules as _extended
+
+    wl = skewed_workload(
+        n0=args.rows_big, n1=args.rows_small, seed=args.seed,
+        stats_high=None if args.accurate else 9,
+    )
+    if args.qerror_threshold < 1.0:
+        raise SystemExit(
+            f"--qerror-threshold must be >= 1.0, got {args.qerror_threshold}"
+        )
+    budget = _parse_budget(args.budget) if args.budget is not None else None
+    # The paper's System R-era join repertoire (NL + MG): the plan-choice
+    # mistake this demo showcases lives in the NL-vs-MG tradeoff.
+    rules = _extended(hash_join=False)
+    weights = CostWeights()
+
+    optimizer = StarburstOptimizer(
+        wl.catalog, rules=rules, weights=weights, budget=budget
+    )
+    static = optimizer.optimize(wl.query)
+    print(f"query: {static.query}")
+    if static.budget_exhausted:
+        print("optimization budget exhausted — anytime plan"
+              + (" (heuristic fallback)" if static.heuristic_fallback else ""))
+    print("static plan:")
+    print(render_tree(static.best_plan))
+    static_result = QueryExecutor(wl.database).run(
+        static.query, static.best_plan
+    )
+    static_cost = executed_cost(static_result.stats, weights)
+    print(f"static executed: {len(static_result)} rows, "
+          f"cost {static_cost:.1f}\n")
+
+    adaptive = AdaptiveExecutor(
+        wl.database,
+        StarburstOptimizer(wl.catalog, rules=rules, weights=weights,
+                           budget=budget),
+        qerror_threshold=args.qerror_threshold,
+        max_reoptimizations=args.max_reoptimizations,
+    )
+    report = adaptive.run(wl.query)
+    print(report.summary())
+    if report.final_plan is not None:
+        print("final plan:")
+        print(render_tree(report.final_plan))
+    if not report.succeeded or report.result is None:
+        print(f"error: adaptive execution failed: {report.error}",
+              file=sys.stderr)
+        return 1
+    ok = report.result.as_multiset() == static_result.as_multiset()
+    ratio = static_cost / report.executed_cost if report.executed_cost else 1.0
+    print(f"executed-cost ratio static/adaptive: {ratio:.2f}")
+    print("differential check vs static plan:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Statically lint a rule set; ``--strict`` fails on warnings too."""
+    registry = default_registry()
+    if args.file is not None:
+        with open(args.file) as handle:
+            text = handle.read()
+        rules = parse_rules(
+            text, base=default_rules() if args.extend_builtin else None
+        )
+    else:
+        rules = _rule_set(args.rules)
+    report = validate_rules(rules, registry)
+    for error in report.errors:
+        print(f"error: {error}")
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    failed = bool(report.errors) or (args.strict and bool(report.warnings))
+    print(
+        f"rule set is {'INVALID' if report.errors else 'VALID'} "
+        f"({len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+        f"{', strict' if args.strict else ''})"
+    )
+    return 1 if failed else 0
+
+
 def cmd_rules(args: argparse.Namespace) -> int:
     registry = default_registry()
     if args.validate is not None:
@@ -373,6 +492,46 @@ def main(argv: list[str] | None = None) -> int:
     analyze.add_argument("--metrics", action="store_true",
                          help="also print the full metrics snapshot")
     analyze.set_defaults(fn=cmd_analyze)
+
+    adaptive = sub.add_parser(
+        "adaptive",
+        help="run a misestimated workload with checkpoints + re-optimization",
+    )
+    adaptive.add_argument("--qerror-threshold", type=float, default=10.0,
+                          help="Q-error beyond which a checkpoint aborts "
+                               "the running plan (default: 10)")
+    adaptive.add_argument("--budget", metavar="E[:P[:T]]",
+                          help="optimizer budget: max expansions, plans, "
+                               "deadline ticks (anytime fallback on "
+                               "exhaustion)")
+    adaptive.add_argument("--max-reoptimizations", type=int, default=3,
+                          help="re-optimization attempts before running "
+                               "to completion unchecked (default: 3)")
+    adaptive.add_argument("--rows-big", type=int, default=4000,
+                          help="rows in the big B-tree table (default: 4000)")
+    adaptive.add_argument("--rows-small", type=int, default=300,
+                          help="rows in the small filtered heap (default: 300)")
+    adaptive.add_argument("--seed", type=int, default=3, help="data RNG seed")
+    adaptive.add_argument("--accurate", action="store_true",
+                          help="keep statistics accurate (control run: no "
+                               "checkpoint should fire)")
+    adaptive.set_defaults(fn=cmd_adaptive)
+
+    validate = sub.add_parser(
+        "validate",
+        help="statically lint a rule set (exit code reflects problems)",
+    )
+    validate.add_argument("file", nargs="?", default=None,
+                          help="a DBC rule file (default: builtin rules)")
+    validate.add_argument("--rules", default="extended",
+                          help="builtin set when no file: base | extended | all")
+    validate.add_argument("--extend-builtin", action="store_true",
+                          help="validate FILE as an extension of the builtin "
+                               "rules")
+    validate.add_argument("--strict", action="store_true",
+                          help="also fail on warnings (e.g. an exclusive "
+                               "STAR with no unconditional final alternative)")
+    validate.set_defaults(fn=cmd_validate)
 
     args = parser.parse_args(argv)
     try:

@@ -128,10 +128,11 @@ class PlanFactory:
         catalog: Catalog,
         model: CostModel | None = None,
         avoid_sites: frozenset[str] = frozenset(),
+        feedback=None,
     ):
         self.catalog = catalog
         self.model = model if model is not None else CostModel(catalog)
-        self.selectivity = Selectivity(catalog)
+        self.selectivity = Selectivity(catalog, feedback=feedback)
         #: Sites plans must not touch (config-avoided; catalog down-sites
         #: are always avoided on top of these).
         self.avoid_sites = frozenset(avoid_sites)
@@ -159,6 +160,18 @@ class PlanFactory:
 
     def _card(self, base: float, preds: Iterable[Predicate], own: frozenset[str]) -> float:
         return max(MIN_CARD, base * self._sel(preds, own))
+
+    def _feedback_card(
+        self,
+        tables: frozenset[str],
+        preds: frozenset[Predicate],
+        card: float,
+    ) -> float:
+        """Override ``card`` with a runtime observation for the output's
+        exact (TABLES, PREDS) class, when the feedback cache holds one."""
+        if self.selectivity.feedback is None:
+            return card
+        return max(MIN_CARD, self.selectivity.adjusted_card(tables, preds, card))
 
     def _pages(self, card: float, cols: frozenset[ColumnRef]) -> float:
         return self.model.stream_pages(card, cols)
@@ -189,7 +202,7 @@ class PlanFactory:
         preds = frozenset(preds)
         own = frozenset([table])
         base_card = self.model.table_card(table)
-        card = self._card(base_card, preds, own)
+        card = self._feedback_card(own, preds, self._card(base_card, preds, own))
         order: OrderSpec = ()
         if tdef.storage == "btree":
             order = tuple(ColumnRef(table, c) for c in tdef.key)
@@ -274,7 +287,7 @@ class PlanFactory:
         )
         matched = matched | sideways
         sel_matched = self._sel(matched, own)
-        card = self._card(base_card, preds, own)
+        card = self._feedback_card(own, preds, self._card(base_card, preds, own))
         leaf_pages = max(
             1.0,
             base_card * self.model.row_width(key_cols) / self.catalog.page_size,
@@ -438,7 +451,9 @@ class PlanFactory:
         columns = frozenset(columns)
         preds = frozenset(preds)
         own = in_props.tables | {table}
-        card = self._card(in_props.card, preds, own)
+        card = self._feedback_card(
+            own, in_props.preds | preds, self._card(in_props.card, preds, own)
+        )
         tdef = self.catalog.table(table)
         table_pages = self.model.table_pages(table)
         table_card = max(1.0, self.model.table_card(table))
@@ -666,7 +681,11 @@ class PlanFactory:
         own = po.tables | pi.tables
         newly_applied = (join_preds | residual_preds) - po.preds - pi.preds
         sel = self._sel(newly_applied, own)
-        card = max(MIN_CARD, po.card * pi.card * sel)
+        card = self._feedback_card(
+            own,
+            po.preds | pi.preds | join_preds | residual_preds,
+            max(MIN_CARD, po.card * pi.card * sel),
+        )
 
         def method_cost(outer_cost: Cost, inner_cost: Cost) -> Cost:
             if flavor == "NL":
@@ -794,7 +813,11 @@ class PlanFactory:
         if not preds:
             raise ReproError("FILTER needs at least one predicate")
         in_props = input_plan.props
-        card = self._card(in_props.card, preds, in_props.tables)
+        card = self._feedback_card(
+            in_props.tables,
+            in_props.preds | preds,
+            self._card(in_props.card, preds, in_props.tables),
+        )
         cpu = Cost(cpu=max(1.0, in_props.card))
         props = PropertyVector(
             tables=in_props.tables,

@@ -83,6 +83,41 @@ class ExecutionError(ReproError):
     """The query evaluator failed while interpreting a plan."""
 
 
+class CardinalityViolation(ExecutionError):
+    """A runtime cardinality checkpoint tripped: the actual row count at a
+    materialization point diverged from the property vector's CARD by more
+    than the configured Q-error threshold.  Carries everything the
+    adaptive loop needs to re-optimize: the violated equivalence class,
+    both cardinalities, and (attached by the executor before the exception
+    escapes) the partial :class:`~repro.executor.runtime.ExecutionStats`
+    of the aborted attempt."""
+
+    def __init__(
+        self,
+        label: str,
+        tables: frozenset,
+        preds: frozenset,
+        estimated: float,
+        actual: float,
+        q: float,
+        threshold: float,
+    ):
+        super().__init__(
+            f"cardinality checkpoint at {label} over {sorted(tables)}: "
+            f"estimated {estimated:.1f} row(s), observed {actual:.0f} "
+            f"(Q-error {q:.1f} > threshold {threshold:.1f})"
+        )
+        self.label = label
+        self.tables = tables
+        self.preds = preds
+        self.estimated = estimated
+        self.actual = actual
+        self.q = q
+        self.threshold = threshold
+        #: Filled by the executor when the violation aborts a running plan.
+        self.partial_stats = None
+
+
 class NetworkError(ExecutionError):
     """A failure of the simulated distributed system (site or link)."""
 

@@ -114,6 +114,8 @@ class ResilientExecutor:
         max_failovers: int = 8,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        checkpoints=None,
+        temp_cache: dict | None = None,
     ):
         self.db = database
         self.optimizer = optimizer
@@ -124,6 +126,10 @@ class ResilientExecutor:
         self.max_failovers = max_failovers
         self.tracer = active_tracer(tracer)
         self.metrics = metrics
+        #: Optional CheckpointPolicy / shared temp cache threaded through to
+        #: every QueryExecutor this run constructs (the adaptive loop's hooks).
+        self.checkpoints = checkpoints
+        self.temp_cache = temp_cache
         if self.tracer is not None and self.chaos.tracer is None:
             self.chaos.tracer = self.tracer
 
@@ -134,7 +140,12 @@ class ResilientExecutor:
         report = ExecutionReport()
         tracer = self.tracer
         executor = QueryExecutor(
-            self.db, chaos=self.chaos, retry=self.retry, tracer=tracer
+            self.db,
+            chaos=self.chaos,
+            retry=self.retry,
+            tracer=tracer,
+            checkpoints=self.checkpoints,
+            temp_cache=self.temp_cache,
         )
         query = opt_result.query
         model = opt_result.engine.ctx.model
@@ -167,6 +178,13 @@ class ResilientExecutor:
                     replanned = True
                     plan, alternatives, model = self._replan(query, report)
                 continue
+            except Exception as exc:
+                # Non-network failures (notably CardinalityViolation from an
+                # armed checkpoint) are not ours to handle: close the span so
+                # the trace stays balanced and let the caller decide.
+                if span is not None:
+                    tracer.end(span, failed=True, error=type(exc).__name__)
+                raise
             if span is not None:
                 tracer.end(span, rows=len(result))
             self._absorb(report, executor, result.stats)

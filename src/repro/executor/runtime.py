@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
 from repro.catalog.schema import AccessPath
-from repro.errors import ExecutionError
+from repro.errors import CardinalityViolation, ExecutionError
 from repro.executor.chaos import ChaosEngine, RetryPolicy, SimClock
 from repro.executor.network import NetworkSim
 from repro.obs.metrics import stats_snapshot
@@ -69,6 +69,8 @@ class ExecutionStats:
     messages: int = 0
     bytes_shipped: int = 0
     temps_materialized: int = 0
+    #: Temps taken ready-made from a shared cross-attempt temp cache.
+    temps_reused: int = 0
     elapsed_seconds: float = 0.0
     #: Chaos/retry accounting (all zero when no chaos engine is attached).
     ship_attempts: int = 0
@@ -118,6 +120,8 @@ class QueryExecutor:
         chaos: ChaosEngine | None = None,
         retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
+        checkpoints=None,
+        temp_cache: dict[str, TableData] | None = None,
     ):
         self.db = database
         self.chaos = chaos
@@ -125,6 +129,14 @@ class QueryExecutor:
         #: Structured-event tracer; normalized so that a disabled tracer
         #: costs exactly as much as no tracer (the <5% overhead budget).
         self.tracer = active_tracer(tracer)
+        #: Optional :class:`~repro.robust.checkpoint.CheckpointPolicy`;
+        #: when set, every completed materialization compares actual rows
+        #: against the property vector's CARD.
+        self.checkpoints = checkpoints
+        #: Optional digest-keyed temp cache shared across executions; when
+        #: given, temps survive ``run_plan`` (the adaptive loop reuses them
+        #: across re-optimization attempts and drops them itself).
+        self.temp_cache = temp_cache
         #: The NetworkSim of the most recent ``run_plan`` call, kept even
         #: when execution raises — failover code aggregates its stats.
         self.last_network: NetworkSim | None = None
@@ -150,6 +162,7 @@ class QueryExecutor:
         run = _PlanRun(
             self.db, stats, network, chaos=self.chaos,
             tracer=self.tracer, node_counts=node_counts,
+            checkpoints=self.checkpoints, temp_cache=self.temp_cache,
         )
         started = time.perf_counter()
         io_before = self.db.io.snapshot()
@@ -168,7 +181,8 @@ class QueryExecutor:
             stats.transient_failures = network.total_failures
             stats.backoff_seconds = network.total_backoff
             stats.elapsed_seconds = time.perf_counter() - started
-            self.db.drop_temps()
+            if self.temp_cache is None:
+                self.db.drop_temps()
         stats.output_rows = len(rows)
         return rows, stats
 
@@ -221,6 +235,8 @@ class _PlanRun:
         chaos: ChaosEngine | None = None,
         tracer: Tracer | None = None,
         node_counts: dict[int, list[int]] | None = None,
+        checkpoints=None,
+        temp_cache: dict[str, TableData] | None = None,
     ):
         self.db = db
         self.stats = stats
@@ -228,7 +244,14 @@ class _PlanRun:
         self.chaos = chaos
         self.tracer = tracer
         self.node_counts = node_counts
-        self._temps: dict[int, TableData] = {}
+        self.checkpoints = checkpoints
+        # Temps are keyed by plan digest (deterministic subtree identity),
+        # so a shared cache lets later attempts reuse any temp whose
+        # producing subtree survived re-optimization unchanged.
+        self._temps: dict[str, TableData] = (
+            temp_cache if temp_cache is not None else {}
+        )
+        self._inherited = set(self._temps)
 
     def _check_site(self, site: str | None) -> None:
         """Fail with SiteUnavailableError when the node's execution site
@@ -461,6 +484,11 @@ class _PlanRun:
     def _sort(self, node: PlanNode, bindings: RowContext | None) -> Iterator[Row]:
         order: tuple[ColumnRef, ...] = node.param("order", ())
         rows = list(self.execute(node.inputs[0], bindings))
+        # SORT buffers its whole input — the one moment the actual
+        # cardinality of the stream below is known exactly.  Streams under
+        # sideways bindings carry per-probe counts and are never checked.
+        if self.checkpoints is not None and bindings is None:
+            self._checkpoint(node.inputs[0], len(rows))
         rows.sort(key=lambda r: tuple(_sort_key(r.get(c)) for c in order))
         yield from rows
 
@@ -638,15 +666,26 @@ class _PlanRun:
         return self._materialize(node.inputs[0])
 
     def _materialize(self, node: PlanNode) -> TableData:
-        cached = self._temps.get(id(node))
+        digest = node.digest
+        cached = self._temps.get(digest)
         if cached is not None:
+            if digest in self._inherited:  # carried over from an aborted attempt
+                self._inherited.discard(digest)
+                self.stats.temps_reused += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "robust", "temp_reuse",
+                        op=node.op, digest=digest,
+                        tables=",".join(sorted(node.props.tables)),
+                    )
             return cached
         if node.op == BUILDIX:
             data = self._materialize(node.inputs[0])
             key: tuple[ColumnRef, ...] = node.param("key", ())
             path = next(iter(node.props.paths - node.inputs[0].props.paths))
-            data.add_index(path, key)
-            self._temps[id(node)] = data
+            if path.name not in data.indexes:  # reused temps keep their indexes
+                data.add_index(path, key)
+            self._temps[digest] = data
             return data
         if node.op != STORE:
             raise ExecutionError(f"cannot materialize a {node.op} node")
@@ -654,11 +693,29 @@ class _PlanRun:
         data = self.db.make_temp(schema, site=node.props.site)
         # The STORE input never depends on outer bindings (Glue keeps
         # sideways predicates out of materialized temps).
+        count = 0
         for row in self.execute(node.inputs[0], None):
             data.insert(tuple(row.get(c) for c in schema))
+            count += 1
         self.stats.temps_materialized += 1
-        self._temps[id(node)] = data
+        self._temps[digest] = data
+        if self.checkpoints is not None:
+            self._checkpoint(node.inputs[0], count)
         return data
+
+    def _checkpoint(self, node: PlanNode, actual: int) -> None:
+        """Run the cardinality checkpoint for a completed materialization.
+
+        When the policy aborts, the shared :class:`ExecutionStats` object
+        rides along on the violation — ``run_plan``'s ``finally`` fills it
+        before the exception escapes, so the adaptive loop sees the true
+        cost of the aborted attempt.
+        """
+        try:
+            self.checkpoints.observe(node, actual)
+        except CardinalityViolation as violation:
+            violation.partial_stats = self.stats
+            raise
 
     # -- shared helpers ---------------------------------------------------------------------
 

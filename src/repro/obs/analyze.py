@@ -39,7 +39,15 @@ if TYPE_CHECKING:
 
 
 def q_error(estimated: float, actual: float, floor: float = 1.0) -> float:
-    """The Q-error of one cardinality estimate (symmetric ratio ≥ 1)."""
+    """The Q-error of one cardinality estimate (symmetric ratio ≥ 1).
+
+    Zero and negative inputs are legal — an estimator may predict 0 rows
+    and an empty stream observes 0 — and are clamped to ``floor`` so the
+    ratio is always finite.  The ``floor`` itself must be positive:
+    a zero floor would let a zero estimate divide by zero.
+    """
+    if floor <= 0:
+        raise ValueError(f"q_error floor must be positive, got {floor}")
     est = max(float(estimated), floor)
     act = max(float(actual), floor)
     return max(est / act, act / est)

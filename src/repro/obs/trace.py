@@ -22,6 +22,9 @@ category     emitted by
 ``optimizer``  one span per :meth:`StarburstOptimizer.optimize`
 ``resilient``  :class:`~repro.executor.resilient.ResilientExecutor`
              executions, SAP failovers and replans
+``robust``   the adaptive loop — optimization budgets, cardinality
+             checkpoints, feedback-cache records/hits and per-attempt
+             spans of :class:`~repro.robust.adaptive.AdaptiveExecutor`
 ===========  ==============================================================
 
 Design constraints:
@@ -71,6 +74,7 @@ CATEGORIES = frozenset(
         "chaos",
         "optimizer",
         "resilient",
+        "robust",
     }
 )
 

@@ -24,6 +24,8 @@ from repro.plans.properties import Requirements
 from repro.plans.sap import SAP, Stream
 from repro.query.parser import parse_query
 from repro.query.query import QueryBlock
+from repro.robust.budget import BudgetExhausted, OptimizerBudget
+from repro.robust.fallback import heuristic_plan
 from repro.stars.ast import RuleSet
 from repro.stars.builtin_rules import extended_rules
 from repro.stars.engine import ExpansionStats, StarEngine
@@ -44,6 +46,12 @@ class OptimizationResult:
     pairs_considered: int
     elapsed_seconds: float
     engine: StarEngine
+    #: True when the optimization budget died before the search finished;
+    #: ``best_plan`` is then the best *anytime* answer, never an error.
+    budget_exhausted: bool = False
+    #: True when even the anytime answer needed the search-free greedy
+    #: fallback (no complete plan existed when the budget died).
+    heuristic_fallback: bool = False
 
     @property
     def best_cost(self) -> float:
@@ -56,6 +64,13 @@ class OptimizationResult:
         lines = [
             f"query: {self.query}",
             f"alternatives surviving: {len(self.alternatives)}",
+        ]
+        if self.budget_exhausted:
+            lines.append(
+                "optimization budget exhausted — anytime plan"
+                + (" (heuristic fallback)" if self.heuristic_fallback else "")
+            )
+        lines += [
             f"estimated cost: {self.best_cost:.1f} "
             f"({self.best_plan.props.cost})",
             f"estimated cardinality: {self.best_plan.props.card:.1f}",
@@ -90,6 +105,8 @@ class StarburstOptimizer:
         weights: CostWeights | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        budget: OptimizerBudget | None = None,
+        feedback=None,
     ):
         self.catalog = catalog
         self.rules = rules if rules is not None else extended_rules()
@@ -100,6 +117,14 @@ class StarburstOptimizer:
         #: optimizer spins up (None = disabled = zero overhead).
         self.tracer = active_tracer(tracer)
         self.metrics = metrics
+        #: Optional OptimizerBudget, reset at the start of every
+        #: :meth:`optimize` call; on exhaustion the search stops and the
+        #: best anytime plan is returned — optimize never raises for this.
+        self.budget = budget
+        #: Optional FeedbackCache consulted by the selectivity estimator —
+        #: the adaptive executor installs one here so re-optimizations see
+        #: runtime-observed cardinalities.
+        self.feedback = feedback
         validate_rules(self.rules, self.registry, raise_on_error=True)
 
     def optimize(self, query: QueryBlock | str) -> OptimizationResult:
@@ -115,6 +140,8 @@ class StarburstOptimizer:
                 f"no plan can deliver the result"
             )
         model = CostModel(self.catalog, self.weights)
+        if self.budget is not None:
+            self.budget.reset()
         engine = StarEngine(
             rules=self.rules,
             catalog=self.catalog,
@@ -124,21 +151,34 @@ class StarburstOptimizer:
             model=model,
             tracer=self.tracer,
             metrics=self.metrics,
+            budget=self.budget,
+            feedback=self.feedback,
         )
         tracer = engine.tracer
         span = None
         if tracer is not None:
             span = tracer.begin("optimizer", "optimize", query=str(query))
+        requirements = Requirements(
+            order=query.required_order() or None,
+            site=result_site,
+        )
+        budget_exhausted = False
+        heuristic_fallback = False
+        enumerator = JoinEnumerator(engine)
         try:
-            enumerator = JoinEnumerator(engine)
             enumerator.run()
-
-            requirements = Requirements(
-                order=query.required_order() or None,
-                site=result_site,
-            )
             final_stream = Stream(query.table_set, requirements)
             alternatives = engine.ctx.glue.resolve(final_stream)
+        except BudgetExhausted as exc:
+            budget_exhausted = True
+            try:
+                alternatives, heuristic_fallback = self._anytime(
+                    engine, query, requirements, exc
+                )
+            except OptimizationError:
+                if tracer is not None:
+                    tracer.end(span, failed=True)
+                raise
         except OptimizationError:
             if tracer is not None:
                 tracer.end(span, failed=True)
@@ -170,6 +210,7 @@ class StarburstOptimizer:
                 span,
                 plans=len(alternatives),
                 cost=round(engine.ctx.model.total(best.props.cost), 3),
+                budget_exhausted=budget_exhausted,
             )
         if self.metrics is not None:
             self.metrics.ingest(engine.stats.as_dict(), prefix="optimizer.")
@@ -179,6 +220,8 @@ class StarburstOptimizer:
             self.metrics.observe(
                 "optimizer.elapsed_seconds", elapsed
             )
+            if self.budget is not None:
+                self.metrics.ingest(self.budget.as_dict(), prefix="budget.")
         return OptimizationResult(
             query=query,
             best_plan=best,
@@ -188,4 +231,47 @@ class StarburstOptimizer:
             pairs_considered=enumerator.pairs_considered,
             elapsed_seconds=elapsed,
             engine=engine,
+            budget_exhausted=budget_exhausted,
+            heuristic_fallback=heuristic_fallback,
         )
+
+    def _anytime(
+        self,
+        engine: StarEngine,
+        query: QueryBlock,
+        requirements: Requirements,
+        exhausted: BudgetExhausted,
+    ) -> tuple[SAP, bool]:
+        """Assemble the best answer available when the budget dies.
+
+        With charging suspended, first let Glue deliver the final stream
+        from whatever the plan table already holds (partial search often
+        has complete plans for the full table set); only when no complete
+        plan exists fall back to the search-free greedy heuristic.  Either
+        way the caller gets a runnable plan — exhaustion never raises.
+        """
+        ctx = engine.ctx
+        tracer = engine.tracer
+        with ctx.budget.suspend():
+            alternatives = SAP()
+            try:
+                alternatives = ctx.glue.resolve(
+                    Stream(query.table_set, requirements)
+                )
+            except (GlueError, ReproError):
+                alternatives = SAP()
+            heuristic = alternatives.cheapest(ctx.model) is None
+            if heuristic:
+                alternatives = SAP([heuristic_plan(ctx, query, requirements)])
+        if tracer is not None:
+            tracer.instant(
+                "robust", "budget_exhausted",
+                reason=ctx.budget.exhausted_reason or str(exhausted),
+                heuristic=heuristic,
+                plans=len(alternatives),
+            )
+        if self.metrics is not None:
+            self.metrics.inc("budget.exhaustions")
+            if heuristic:
+                self.metrics.inc("budget.heuristic_fallbacks")
+        return alternatives, heuristic

@@ -1,0 +1,109 @@
+"""The runtime cardinality feedback cache.
+
+Keys match the hashed plan table exactly — ``(frozenset of tables,
+frozenset of applied predicates)`` — so an observation recorded at a
+materialization point of one execution lines up with the equivalence
+class the next optimization builds for the same relational content.
+The selectivity estimator consults the cache through
+:meth:`Selectivity.adjusted_card <repro.cost.selectivity.Selectivity>`;
+a hit overrides the System-R estimate with the observed row count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.query.predicates import Predicate
+from repro.stars.plantable import PlanKey, plan_key
+
+
+class FeedbackCache:
+    """Observed cardinalities keyed on (TABLES, PREDS).
+
+    ``tracer`` / ``metrics`` (both optional, None = zero overhead) record
+    every hit and miss — the loop's observability contract matches the
+    plan table's.
+    """
+
+    def __init__(self, tracer=None, metrics=None):
+        self._observed: dict[PlanKey, float] = {}
+        self.hits = 0
+        self.misses = 0
+        self.records = 0
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def __len__(self) -> int:
+        return len(self._observed)
+
+    def __bool__(self) -> bool:  # an empty cache is still a cache
+        return True
+
+    def record(
+        self,
+        tables: Iterable[str],
+        preds: Iterable[Predicate],
+        actual: float,
+    ) -> None:
+        """Store one observed cardinality (later observations win)."""
+        key = plan_key(tables, preds)
+        self._observed[key] = float(actual)
+        self.records += 1
+        if self.metrics is not None:
+            self.metrics.inc("feedback.records")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "robust", "feedback_record",
+                tables=",".join(sorted(key[0])),
+                preds=len(key[1]),
+                actual=float(actual),
+            )
+
+    def lookup(
+        self, tables: Iterable[str], preds: Iterable[Predicate]
+    ) -> float | None:
+        """The observed cardinality for this equivalence class, or None."""
+        value = self._observed.get(plan_key(tables, preds))
+        if value is None:
+            self.misses += 1
+            if self.metrics is not None:
+                self.metrics.inc("feedback.misses")
+            return None
+        self.hits += 1
+        if self.metrics is not None:
+            self.metrics.inc("feedback.hits")
+        return value
+
+    def adjust(
+        self,
+        tables: Iterable[str],
+        preds: Iterable[Predicate],
+        estimated: float,
+    ) -> float:
+        """``estimated`` corrected by an observation when one exists."""
+        observed = self.lookup(tables, preds)
+        if observed is None:
+            return estimated
+        if self.tracer is not None:
+            key = plan_key(tables, preds)
+            self.tracer.instant(
+                "robust", "feedback_hit",
+                tables=",".join(sorted(key[0])),
+                estimated=round(float(estimated), 3),
+                observed=observed,
+            )
+        return max(observed, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat metrics-schema summary."""
+        total = self.hits + self.misses
+        return {
+            "entries": float(len(self._observed)),
+            "records": float(self.records),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def entries(self) -> dict[PlanKey, float]:
+        return dict(self._observed)

@@ -111,6 +111,7 @@ class RuleContext:
         plan_table: PlanTable,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        budget=None,
     ):
         self.catalog = catalog
         self.query = query
@@ -129,6 +130,11 @@ class RuleContext:
         #: Structured observability (None = disabled = zero overhead).
         self.tracer = tracer
         self.metrics = metrics
+        #: Optional :class:`~repro.robust.budget.OptimizerBudget`; when
+        #: set, STAR expansion and plan-table growth are metered and the
+        #: search dies with BudgetExhausted (the optimizer catches it and
+        #: assembles the best anytime answer).
+        self.budget = budget
         # Back-references installed by StarEngine.__init__.
         self.engine: "StarEngine" = None  # type: ignore[assignment]
         self.glue: Glue = None  # type: ignore[assignment]
@@ -148,6 +154,8 @@ class StarEngine:
         plan_table: PlanTable | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        budget=None,
+        feedback=None,
     ):
         config = config if config is not None else OptimizerConfig()
         tracer = active_tracer(tracer)
@@ -155,7 +163,9 @@ class StarEngine:
             # ``config.trace`` keeps its PR-1 meaning — collect an
             # expansion trace — but the substrate is now structured events.
             tracer = Tracer()
-        factory = PlanFactory(catalog, model, avoid_sites=config.avoid_sites)
+        factory = PlanFactory(
+            catalog, model, avoid_sites=config.avoid_sites, feedback=feedback
+        )
         factory.tracer = tracer
         if plan_table is None:
             plan_table = PlanTable(
@@ -165,6 +175,7 @@ class StarEngine:
                 site_diversity=config.retain_site_diversity,
             )
         plan_table.tracer = tracer
+        plan_table.budget = budget
         self.ctx = RuleContext(
             catalog=catalog,
             query=query,
@@ -175,6 +186,7 @@ class StarEngine:
             plan_table=plan_table,
             tracer=tracer,
             metrics=metrics,
+            budget=budget,
         )
         self.ctx.engine = self
         self.ctx.glue = Glue(self.ctx)
@@ -225,6 +237,10 @@ class StarEngine:
     def _expand_star(self, star: StarDef, args: tuple) -> SAP:
         ctx = self.ctx
         ctx.stats.star_references += 1
+        if ctx.budget is not None:
+            # BudgetExhausted is deliberately NOT a ReproError: it must cut
+            # through every per-plan ``except ReproError`` on its way out.
+            ctx.budget.charge_expansion(star.name)
         if ctx.metrics is not None:
             ctx.metrics.inc(f"optimizer.rule.{star.name}.fired")
         if len(args) != len(star.params):

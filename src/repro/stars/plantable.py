@@ -65,6 +65,9 @@ class PlanTable:
         self.stats = PlanTableStats()
         #: Structured-event tracer (installed by StarEngine; None = off).
         self.tracer = None
+        #: Optional OptimizerBudget (installed by StarEngine; None = off):
+        #: every plan entering an equivalence class is charged against it.
+        self.budget = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -98,7 +101,10 @@ class PlanTable:
         Returns the surviving SAP for the class."""
         key = plan_key(tables, preds)
         existing = self._entries.get(key)
-        merged = SAP(plans) if existing is None else existing.union(SAP(plans))
+        incoming = SAP(plans)
+        if self.budget is not None:
+            self.budget.charge_plans(len(incoming))
+        merged = incoming if existing is None else existing.union(incoming)
         before = len(merged)
         if self._prune:
             merged = merged.pruned(

@@ -14,7 +14,11 @@ checks:
 * every parameter referenced in a body is bound (a STAR parameter, a
   ``where`` binding, or a ∀ variable);
 * a name that denotes both a STAR and a registry function is flagged
-  (the engine resolves STARs first, which can silently shadow).
+  (the engine resolves STARs first, which can silently shadow);
+* an *exclusive* STAR (the paper's curly brace: first alternative whose
+  condition holds is taken) whose final alternative is still conditional
+  is flagged as a warning — when every condition is false the STAR
+  produces nothing, which usually means the DBC forgot an ``OTHERWISE``.
 """
 
 from __future__ import annotations
@@ -84,6 +88,14 @@ def validate_rules(
             report.warnings.append(
                 f"STAR {star.name} shadows registry function of the same name"
             )
+        if star.exclusive:
+            final = star.alternatives[-1]
+            if not (final.otherwise or final.condition is None):
+                report.warnings.append(
+                    f"exclusive STAR {star.name} has no unconditional final "
+                    f"alternative: when every condition is false it produces "
+                    f"no plans (add an OTHERWISE or drop the last condition)"
+                )
         for target in edges[star.name]:
             if target == "Glue":
                 uses_glue = True

@@ -12,6 +12,7 @@ from repro.workloads.generator import (
     WorkloadSpec,
     chain_workload,
     clique_workload,
+    skewed_workload,
     star_workload,
     synthesize,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "paper_catalog",
     "paper_database",
     "paper_three_table_query",
+    "skewed_workload",
     "star_workload",
     "synthesize",
 ]

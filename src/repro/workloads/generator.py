@@ -10,6 +10,12 @@ graph shapes:
 * ``clique`` — every pair of tables linked through a shared value column
   (stress-tests the join enumerator's pair generation).
 
+Besides the shaped generators, :func:`skewed_workload` builds the
+misestimated-statistics workload behind experiment E12 and the
+``adaptive`` CLI subcommand: a join whose catalog statistics deliberately
+overestimate a filter by a controlled factor, so a static plan choice is
+wrong at run time.
+
 All randomness flows from :class:`WorkloadSpec.seed`, so every benchmark
 run sees identical data and statistics.
 """
@@ -21,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import AccessPath, ColumnDef, TableDef
+from repro.catalog.statistics import ColumnStats
 from repro.errors import QueryError
 from repro.query.parser import parse_query
 from repro.query.query import QueryBlock
@@ -121,6 +128,72 @@ def star_workload(n_tables: int = 4, rows: int = 300, **kwargs) -> Workload:
 
 def clique_workload(n_tables: int = 3, rows: int = 200, **kwargs) -> Workload:
     return synthesize(WorkloadSpec(shape="clique", n_tables=n_tables, rows=rows, **kwargs))
+
+
+def skewed_workload(
+    n0: int = 20000,
+    n1: int = 1000,
+    ndist: int = 50,
+    val_range: int = 1000,
+    cut: int = 5,
+    stats_high: int | None = 9,
+    seed: int = 3,
+) -> Workload:
+    """A two-table join whose statistics misestimate a filter (E12).
+
+    ``R0`` is a big table B-tree-organized on its join column ``JC``
+    with ``ndist`` distinct values — few distinct values mean each index
+    probe touches many leaf pages, which is what makes a merge join look
+    attractive to the optimizer.  ``R1`` is a small heap filtered by
+    ``VAL < cut``; the filter truly passes about ``n1 * cut / val_range``
+    rows, but when ``stats_high`` is given the column statistics are
+    overwritten to claim ``VAL`` spans ``[0, stats_high]``, so the
+    optimizer estimates ``~n1 * cut / stats_high`` rows — an
+    overestimate of roughly ``val_range / stats_high``.  With
+    ``stats_high=None`` the statistics stay accurate (the E12 control).
+
+    The static optimizer therefore sorts the believed-huge (actually
+    tiny) filtered stream for a merge join; an adaptive executor's
+    checkpoint at that SORT catches the misestimate after only R1's
+    cheap scan.
+    """
+    rng = random.Random(seed)
+    catalog = Catalog(query_site="S0")
+    catalog.add_site("S0")
+    catalog.add_table(TableDef(
+        "R0", (ColumnDef("JC"), ColumnDef("PAYLOAD")), site="S0",
+        storage="btree", key=("JC", "PAYLOAD"),
+    ))
+    catalog.add_table(TableDef(
+        "R1", (ColumnDef("ID"), ColumnDef("FK"), ColumnDef("VAL")),
+        site="S0",
+    ))
+    database = Database(catalog)
+    database.create_storage("R0")
+    database.create_storage("R1")
+    database.load("R0", ({"JC": rng.randrange(ndist), "PAYLOAD": i}
+                         for i in range(n0)))
+    database.load("R1", ({"ID": i, "FK": rng.randrange(ndist),
+                          "VAL": rng.randrange(val_range)}
+                         for i in range(n1)))
+    database.analyze("R0")
+    database.analyze("R1")
+    if stats_high is not None:
+        catalog.set_column_stats(
+            "R1", "VAL",
+            ColumnStats(n_distinct=float(stats_high + 1),
+                        low=0, high=stats_high),
+        )
+    query = parse_query(
+        "SELECT R0.PAYLOAD, R1.ID FROM R0, R1 "
+        f"WHERE R0.JC = R1.FK AND R1.VAL < {cut}",
+        catalog,
+    )
+    skew = 1.0 if stats_high is None else val_range / (stats_high + 1)
+    name = f"skewed-{n0}x{n1}-{skew:.0f}x"
+    spec = WorkloadSpec(shape="chain", n_tables=2, rows=n1, seed=seed)
+    return Workload(name=name, spec=spec, catalog=catalog,
+                    database=database, query=query)
 
 
 # ---------------------------------------------------------------------------

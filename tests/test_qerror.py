@@ -1,0 +1,47 @@
+"""q_error edge cases: zero/negative inputs and the clamp floor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import q_error
+
+
+class TestDegenerateEstimates:
+    def test_zero_estimate_clamps_to_floor(self):
+        # An estimator may legally predict 0 rows; the ratio must stay
+        # finite instead of dividing by zero.
+        assert q_error(0.0, 100.0) == pytest.approx(100.0)
+
+    def test_zero_actual_clamps_to_floor(self):
+        assert q_error(100.0, 0.0) == pytest.approx(100.0)
+
+    def test_both_zero_is_perfect(self):
+        assert q_error(0.0, 0.0) == 1.0
+
+    def test_negative_estimate_clamps_to_floor(self):
+        assert q_error(-5.0, 10.0) == pytest.approx(10.0)
+        assert q_error(10.0, -5.0) == pytest.approx(10.0)
+
+    def test_custom_floor_changes_clamp(self):
+        # With floor=10, an estimate of 2 and an actual of 0 both read
+        # as 10 — a coarse floor deliberately forgives small absolute
+        # errors on tiny streams.
+        assert q_error(2.0, 0.0, floor=10.0) == 1.0
+
+    def test_symmetry(self):
+        assert q_error(5.0, 50.0) == q_error(50.0, 5.0)
+
+    def test_always_at_least_one(self):
+        assert q_error(7.0, 7.0) == 1.0
+        assert q_error(0.0, 0.5) >= 1.0
+
+
+class TestFloorValidation:
+    @pytest.mark.parametrize("floor", [0.0, -1.0, -0.001])
+    def test_non_positive_floor_rejected(self, floor):
+        with pytest.raises(ValueError, match="floor must be positive"):
+            q_error(10.0, 10.0, floor=floor)
+
+    def test_tiny_positive_floor_accepted(self):
+        assert q_error(0.0, 1.0, floor=1e-9) == pytest.approx(1e9)

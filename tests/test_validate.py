@@ -147,3 +147,61 @@ class TestWarningsAndRaise:
             StarburstOptimizer(
                 catalog, rules=parse_rules("star S(T) { alt -> Missing(T); }")
             )
+
+
+class TestExclusiveAlternatives:
+    """An exclusive STAR whose alternatives are all conditional can
+    produce NO plans when every condition is false — a silent dead end
+    the validator must flag."""
+
+    def test_all_conditional_exclusive_warned(self):
+        report = validate(
+            """
+            star S(T) exclusive {
+                alt if local_query() -> ACCESS(T, {}, {});
+                alt if needs_temp(T) -> ACCESS(T, {}, {});
+            }
+            """
+        )
+        assert report.ok  # a warning, not an error
+        assert any("unconditional final alternative" in w for w in report.warnings)
+
+    def test_otherwise_clause_silences_warning(self):
+        report = validate(
+            """
+            star S(T) exclusive {
+                alt if local_query() -> ACCESS(T, {}, {});
+                otherwise -> ACCESS(T, {}, {});
+            }
+            """
+        )
+        assert report.ok
+        assert report.warnings == []
+
+    def test_unconditional_final_alternative_silences_warning(self):
+        report = validate(
+            """
+            star S(T) exclusive {
+                alt if local_query() -> ACCESS(T, {}, {});
+                alt -> ACCESS(T, {}, {});
+            }
+            """
+        )
+        assert report.warnings == []
+
+    def test_inclusive_star_never_warned(self):
+        # Inclusive STARs union their alternatives; an empty union is a
+        # legitimate outcome, not a trap.
+        report = validate(
+            """
+            star S(T) {
+                alt if local_query() -> ACCESS(T, {}, {});
+            }
+            """
+        )
+        assert report.warnings == []
+
+    def test_builtin_rule_sets_stay_clean(self):
+        for rules in (default_rules(), extended_rules()):
+            report = validate_rules(rules, default_registry())
+            assert report.warnings == []
