@@ -1,0 +1,296 @@
+"""E13 — the optimizer hot path: memoization, interning, pruning, and
+parallel batch optimization.
+
+Lohman's efficiency argument is that *constructive* STARs dispatch
+cheaply; this experiment measures the four layers PR 4 added to make the
+reproduction live up to that:
+
+* **Part A — lazy digests.**  ``PlanNode`` no longer computes its
+  SHA-256 content digest in ``__post_init__``; construction must be
+  measurably cheaper than construction + forced digest.
+* **Part B — single-query speedup.**  The E9 shared-subplan chain
+  workload optimized with layers 1–3 enabled (STAR/Glue memo, plan
+  interning, dominance pruning — the defaults) versus all three
+  disabled (exhaustive enumeration).  Gate: **>= 3x** faster, with the
+  *identical* best plan digest and cost — the exhaustive run doubles as
+  the correctness oracle for the pruning layers.
+* **Part C — parallel throughput.**  ``optimize_many`` over a process
+  pool, 4 workers vs 1, on copies of a chain query.  Gate: **> 1.5x**
+  throughput — enforced only on multi-core hosts (the ratio and the
+  host's CPU count are recorded either way).
+* **Part D — memo hit rate.**  Aggregate STAR/Glue memo hit rate across
+  the E9 workload suite must not regress below the floor recorded in
+  ``benchmarks/baselines.json`` (the CI regression gate).
+
+Results are written to ``BENCH_e13.json``.  ``--smoke`` runs scaled-down
+workloads for CI (same gates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench import Table, banner
+from repro.config import OptimizerConfig
+from repro.optimizer import StarburstOptimizer, optimize_many
+from repro.workloads import chain_workload
+
+HERE = Path(__file__).resolve().parent
+OUTPUT = HERE.parent / "BENCH_e13.json"
+BASELINES = HERE / "baselines.json"
+
+#: E9's shared-subplan workload family (chain joins, fixed seed).
+E9_ROWS = 50
+E9_SEED = 31
+
+
+def _baselines() -> dict:
+    return json.loads(BASELINES.read_text())["e13"]
+
+
+def _layers_off() -> OptimizerConfig:
+    return OptimizerConfig(memo_stars=False, intern_plans=False, prune=False)
+
+
+def _optimize(workload, config: OptimizerConfig | None = None):
+    optimizer = StarburstOptimizer(workload.catalog, config=config)
+    started = time.perf_counter()
+    result = optimizer.optimize(workload.query)
+    return result, time.perf_counter() - started
+
+
+# -- Part A: node construction ------------------------------------------------
+
+
+def bench_node_construction(rounds: int = 200) -> dict:
+    """Reconstruct real plan nodes with and without forcing the digest.
+
+    The seed computed the SHA-256 digest inside ``__post_init__`` for
+    every node; the digest is lazy now, so bare construction must beat
+    construction + ``.digest`` by a clear margin.
+    """
+    wl = chain_workload(4, rows=E9_ROWS, seed=E9_SEED)
+    result, _ = _optimize(wl)
+    nodes = result.engine.ctx.plan_table.all_plans()
+
+    def rebuild(force_digest: bool) -> float:
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for node in nodes:
+                fresh = dataclasses.replace(node)
+                if force_digest:
+                    fresh.digest  # noqa: B018 — forcing the lazy property
+        return time.perf_counter() - started
+
+    rebuild(False)  # warm-up
+    lazy = rebuild(False)
+    forced = rebuild(True)
+    return {
+        "nodes": len(nodes),
+        "rounds": rounds,
+        "construct_seconds": lazy,
+        "construct_plus_digest_seconds": forced,
+        "speedup": forced / lazy if lazy else float("inf"),
+    }
+
+
+# -- Part B: single-query speedup --------------------------------------------
+
+
+def bench_single_query(n_tables: int) -> dict:
+    """Layers 1-3 on (defaults) vs off (exhaustive) on one E9 chain."""
+    wl = chain_workload(n_tables, rows=E9_ROWS, seed=E9_SEED)
+    on, t_on = _optimize(wl)
+    off, t_off = _optimize(wl, _layers_off())
+    if on.best_plan.digest != off.best_plan.digest:
+        raise AssertionError(
+            f"chain:{n_tables}: layered best plan {on.best_plan.digest} != "
+            f"exhaustive best plan {off.best_plan.digest}"
+        )
+    if abs(on.best_cost - off.best_cost) > 1e-9:
+        raise AssertionError(
+            f"chain:{n_tables}: best cost diverged "
+            f"({on.best_cost} vs {off.best_cost})"
+        )
+    stats = on.engine.memo.stats
+    return {
+        "workload": f"chain:{n_tables}",
+        "layers_on_seconds": t_on,
+        "layers_off_seconds": t_off,
+        "speedup": t_off / t_on if t_on else float("inf"),
+        "best_plan": on.best_plan.digest,
+        "best_cost": on.best_cost,
+        "plans_pruned": on.plan_table_stats.plans_pruned,
+        "memo_hit_rate": stats.hit_rate(),
+    }
+
+
+# -- Part C: parallel throughput ----------------------------------------------
+
+
+def bench_parallel(n_tables: int, batch: int, workers: int = 4) -> dict:
+    """``optimize_many`` wall time, ``workers`` processes vs inline."""
+    wl = chain_workload(n_tables, rows=E9_ROWS, seed=E9_SEED)
+    queries = [wl.query] * batch
+
+    started = time.perf_counter()
+    serial = optimize_many(wl.catalog, queries, workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    pooled = optimize_many(wl.catalog, queries, workers=workers)
+    parallel_seconds = time.perf_counter() - started
+
+    digests = {r.plan_digest for r in serial} | {r.plan_digest for r in pooled}
+    if len(digests) != 1 or not all(r.ok for r in (*serial, *pooled)):
+        raise AssertionError(f"parallel batch diverged: {sorted(digests)}")
+    return {
+        "workload": f"chain:{n_tables}",
+        "batch": batch,
+        "workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "throughput_ratio": (
+            serial_seconds / parallel_seconds if parallel_seconds else 0.0
+        ),
+    }
+
+
+# -- Part D: memo hit rate on the E9 suite ------------------------------------
+
+
+def bench_memo_hit_rate(sizes: tuple[int, ...]) -> dict:
+    """Aggregate STAR/Glue memo hit rate over the E9 chain suite."""
+    lookups = hits = 0
+    per_workload = {}
+    for n_tables in sizes:
+        wl = chain_workload(n_tables, rows=E9_ROWS, seed=E9_SEED)
+        result, _ = _optimize(wl)
+        stats = result.engine.memo.stats
+        lookups += stats.lookups
+        hits += stats.hits
+        per_workload[f"chain:{n_tables}"] = stats.hit_rate()
+    return {
+        "lookups": lookups,
+        "hits": hits,
+        "hit_rate": hits / lookups if lookups else 0.0,
+        "per_workload": per_workload,
+    }
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def run_experiment(smoke: bool = False) -> str:
+    gates = _baselines()
+    construction = bench_node_construction(rounds=40 if smoke else 200)
+    single = bench_single_query(3 if smoke else 4)
+    parallel = bench_parallel(
+        n_tables=4 if smoke else 5, batch=4 if smoke else 8
+    )
+    memo = bench_memo_hit_rate((3, 4) if smoke else (3, 4, 5, 6))
+
+    multi_core = parallel["cpu_count"] >= 2
+    checks = {
+        "node_construction": (
+            construction["speedup"]
+            >= gates["min_node_construction_speedup"]
+        ),
+        "single_query": single["speedup"] >= gates["min_single_query_speedup"],
+        "parallel": (
+            parallel["throughput_ratio"]
+            > gates["min_parallel_throughput_ratio"]
+            if multi_core
+            else None  # unenforceable on a single-core host; ratio recorded
+        ),
+        "memo_hit_rate": memo["hit_rate"] >= gates["memo_hit_rate_e9_floor"],
+    }
+    ok = all(v for v in checks.values() if v is not None)
+
+    payload = {
+        "smoke": smoke,
+        "gates": gates,
+        "node_construction": construction,
+        "single_query": single,
+        "parallel": parallel,
+        "memo": memo,
+        "checks": checks,
+        "parallel_gate_enforced": multi_core,
+        "ok": ok,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    table = Table(["measurement", "value", "gate", "verdict"])
+    table.add(
+        "node construction speedup (lazy digest)",
+        f"{construction['speedup']:.2f}x",
+        f">= {gates['min_node_construction_speedup']}x",
+        "pass" if checks["node_construction"] else "FAIL",
+    )
+    table.add(
+        f"single-query speedup ({single['workload']}, layers 1-3)",
+        f"{single['speedup']:.1f}x",
+        f">= {gates['min_single_query_speedup']}x",
+        "pass" if checks["single_query"] else "FAIL",
+    )
+    table.add(
+        f"batch throughput ({parallel['workers']} workers vs 1)",
+        f"{parallel['throughput_ratio']:.2f}x",
+        f"> {gates['min_parallel_throughput_ratio']}x",
+        ("pass" if checks["parallel"] else "FAIL")
+        if multi_core
+        else f"skipped ({parallel['cpu_count']} CPU)",
+    )
+    table.add(
+        "memo hit rate (E9 suite)",
+        f"{memo['hit_rate']:.3f}",
+        f">= {gates['memo_hit_rate_e9_floor']}",
+        "pass" if checks["memo_hit_rate"] else "FAIL",
+    )
+
+    lines = [
+        banner(
+            "E13 — optimizer hot path: memo + interning + pruning + parallel batch",
+            "Layers 1-3 (STAR/Glue memo, hash-consed plans, dominance "
+            "pruning) vs exhaustive enumeration, plus process-pool batch "
+            "throughput.  The exhaustive run doubles as the pruning "
+            "correctness oracle (identical best plan and cost).",
+        ),
+        str(table),
+        f"machine-readable results: {OUTPUT.name}",
+        "",
+        "RESULT: "
+        + ("HOT PATH GATES PASS" if ok else "HOT PATH GATES FAIL"),
+    ]
+    return "\n".join(lines)
+
+
+def test_e13_hotpath(benchmark, report):
+    text = benchmark.pedantic(
+        lambda: run_experiment(smoke=True), rounds=1, iterations=1
+    )
+    report(text)
+    assert "HOT PATH GATES PASS" in text
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="scaled-down workloads for CI (same gates)",
+    )
+    args = parser.parse_args()
+    text = run_experiment(smoke=args.smoke)
+    print(text)
+    return 0 if "HOT PATH GATES PASS" in text else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

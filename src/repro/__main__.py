@@ -68,22 +68,47 @@ from repro.workloads import (
 )
 
 
-def _load_workload(spec: str):
-    """Workload spec: 'paper', 'paper-distributed', or 'chain:4' etc."""
+def _load_workload_full(spec: str):
+    """Workload spec: 'paper', 'paper-distributed', or 'chain:4' etc.
+    Returns ``(catalog, database, default query)``."""
     if spec in ("paper", "paper-distributed"):
         catalog = paper_catalog(distributed=spec.endswith("distributed"))
         database = paper_database(catalog)
-        return catalog, database
+        return catalog, database, figure1_query(catalog)
     if ":" in spec:
         shape, _, count = spec.partition(":")
         makers = {"chain": chain_workload, "star": star_workload, "clique": clique_workload}
         if shape in makers:
             wl = makers[shape](int(count))
-            return wl.catalog, wl.database
+            return wl.catalog, wl.database, wl.query
     raise SystemExit(
         f"unknown workload {spec!r}: use paper, paper-distributed, "
         "chain:N, star:N, or clique:N"
     )
+
+
+def _load_workload(spec: str):
+    catalog, database, _ = _load_workload_full(spec)
+    return catalog, database
+
+
+def _maybe_profile(enabled: bool, fn):
+    """Run ``fn`` (optionally under cProfile, printing the top-20
+    cumulative entries afterwards) and return its result."""
+    if not enabled:
+        return fn()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        print("\nprofile (top 20 by cumulative time):")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    return result
 
 
 def _rule_set(name: str):
@@ -114,7 +139,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     catalog, database = _load_workload(args.workload)
     config = OptimizerConfig(trace=args.trace)
     optimizer = StarburstOptimizer(catalog, rules=_rule_set(args.rules), config=config)
-    result = optimizer.optimize(args.sql)
+    result = _maybe_profile(args.profile, lambda: optimizer.optimize(args.sql))
     print(f"query: {result.query}")
     print(f"alternatives surviving: {len(result.alternatives)}")
     print(f"estimated cost: {result.best_cost:.2f} ({result.best_plan.props.cost})")
@@ -132,6 +157,77 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         if len(answer.rows) > limit:
             print(f"   ... {len(answer.rows) - limit} more")
     return 0
+
+
+def cmd_bench_opt(args: argparse.Namespace) -> int:
+    """Batch-optimize a workload's query N times over a process pool and
+    report throughput — the CLI face of :func:`repro.optimizer.optimize_many`."""
+    import time as _time
+
+    from repro.optimizer import optimize_many
+
+    catalog, _database, query = _load_workload_full(args.workload)
+    queries = [args.sql if args.sql is not None else query] * args.queries
+    config = OptimizerConfig(
+        memo_stars=not args.no_memo,
+        intern_plans=not args.no_intern,
+        prune=not args.no_prune,
+    )
+    rules = _rule_set(args.rules)
+
+    def run():
+        best = None
+        for _ in range(args.repeat):
+            started = _time.perf_counter()
+            results = optimize_many(
+                catalog, queries, rules=rules, config=config,
+                workers=args.workers,
+            )
+            elapsed = _time.perf_counter() - started
+            if best is None or elapsed < best[1]:
+                best = (results, elapsed)
+        return best
+
+    results, elapsed = _maybe_profile(args.profile, run)
+    failed = [r for r in results if not r.ok]
+    throughput = len(results) / elapsed if elapsed else 0.0
+    print(f"workload: {args.workload}  queries: {len(results)}  "
+          f"workers: {args.workers}  repeat: {args.repeat}")
+    print(f"layers: memo={'on' if config.memo_stars else 'off'} "
+          f"intern={'on' if config.intern_plans else 'off'} "
+          f"prune={'on' if config.prune else 'off'}")
+    print(f"wall time: {elapsed:.3f}s  throughput: {throughput:.2f} queries/s")
+    ok_results = [r for r in results if r.ok]
+    if ok_results:
+        sample = ok_results[0]
+        print(f"best plan: {sample.plan_digest} cost {sample.best_cost:.2f} "
+              f"({sample.alternatives} alternative(s))")
+        memo = sample.memo_stats
+        if memo:
+            print(f"memo: {memo.get('hits', 0):.0f}/{memo.get('lookups', 0):.0f} "
+                  f"hits (rate {memo.get('hit_rate', 0.0):.2f})")
+    for failure in failed:
+        print(f"error: query #{failure.index}: {failure.error}", file=sys.stderr)
+    if args.json:
+        import json as _json
+
+        payload = {
+            "workload": args.workload,
+            "queries": len(results),
+            "workers": args.workers,
+            "elapsed_seconds": elapsed,
+            "throughput_qps": throughput,
+            "config": {
+                "memo_stars": config.memo_stars,
+                "intern_plans": config.intern_plans,
+                "prune": config.prune,
+            },
+            "results": [r.as_dict() for r in results],
+        }
+        with open(args.json, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"JSON report written to {args.json}")
+    return 1 if failed else 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -427,7 +523,44 @@ def main(argv: list[str] | None = None) -> int:
     optimize.add_argument("--execute", action="store_true", help="run the chosen plan")
     optimize.add_argument("--trace", action="store_true", help="print the expansion trace")
     optimize.add_argument("--limit", type=int, default=10, help="rows to print")
+    optimize.add_argument("--profile", action="store_true",
+                          help="run under cProfile and print the top-20 "
+                               "functions by cumulative time")
     optimize.set_defaults(fn=cmd_optimize)
+
+    bench_opt = sub.add_parser(
+        "bench-opt",
+        help="batch-optimize a workload over a process pool, report throughput",
+    )
+    bench_opt.add_argument("sql", nargs="?", default=None,
+                           help="a SELECT statement (default: the workload's "
+                                "own query)")
+    bench_opt.add_argument("--workload", default="chain:5",
+                           help="paper | paper-distributed | chain:N | star:N "
+                                "| clique:N (default: chain:5)")
+    bench_opt.add_argument("--rules", default="extended",
+                           help="base | extended | all")
+    bench_opt.add_argument("--queries", type=int, default=8,
+                           help="batch size: copies of the query to optimize "
+                                "(default: 8)")
+    bench_opt.add_argument("--workers", type=int, default=1,
+                           help="process-pool workers; <=1 runs inline "
+                                "(default: 1)")
+    bench_opt.add_argument("--repeat", type=int, default=1,
+                           help="repetitions; the fastest run is reported "
+                                "(default: 1)")
+    bench_opt.add_argument("--no-memo", action="store_true",
+                           help="disable the STAR memo (layer 1)")
+    bench_opt.add_argument("--no-intern", action="store_true",
+                           help="disable plan interning (layer 2)")
+    bench_opt.add_argument("--no-prune", action="store_true",
+                           help="disable dominance pruning (layer 3)")
+    bench_opt.add_argument("--json", metavar="FILE",
+                           help="write per-query results as JSON")
+    bench_opt.add_argument("--profile", action="store_true",
+                           help="run under cProfile and print the top-20 "
+                                "functions by cumulative time")
+    bench_opt.set_defaults(fn=cmd_bench_opt)
 
     rules = sub.add_parser("rules", help="print or validate rule sets")
     rules.add_argument("--rules", default="extended", help="base | extended | all")

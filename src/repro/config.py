@@ -32,8 +32,27 @@ class OptimizerConfig:
     composite_inners: bool = True
 
     #: Prune dominated plans in the plan table (System R interesting-
-    #: property pruning generalized to the property vector).
+    #: property pruning generalized to the property vector).  This is
+    #: hot-path layer 3: with it off, every insert keeps every plan, so
+    #: downstream LOLEPOP maps and Glue veneers multiply over dominated
+    #: alternatives that could never win.
     prune: bool = True
+
+    #: Memoize STAR expansions per optimization (hot-path layer 1): a
+    #: repeated reference of a STAR with the same canonicalized arguments
+    #: — including any Requirements riding on stream arguments — returns
+    #: the cached SAP instead of re-expanding.  Cache hits are free: they
+    #: are not charged against an :class:`~repro.robust.budget.
+    #: OptimizerBudget`'s expansion counter.  Off only for A/B
+    #: measurement (E13) and correctness cross-checks.
+    memo_stars: bool = True
+
+    #: Hash-cons plan nodes (hot-path layer 2): structurally identical
+    #: plans constructed through different rule paths become the *same*
+    #: object, so shared fragments are physically shared, equality
+    #: short-circuits on identity, and each unique subtree is digested
+    #: once.  Off only for A/B measurement (E13).
+    intern_plans: bool = True
 
     #: Safety limit on STAR expansion depth (a DBC-authored rule cycle
     #: fails fast instead of recursing forever).

@@ -100,21 +100,26 @@ def index_matching_predicates(
 
 
 def _traced_propfunc(method):
-    """Emit one ``propfunc`` trace instant per property-function
-    evaluation (every successfully constructed LOLEPOP)."""
+    """Post-process every successfully constructed LOLEPOP: hash-cons it
+    through the factory's interner (when one is attached) so structurally
+    identical constructions collapse to one shared object, and emit one
+    ``propfunc`` trace instant."""
 
     @functools.wraps(method)
     def wrapper(self, *args, **kwargs):
         node = method(self, *args, **kwargs)
-        tracer = self.tracer
-        if tracer is not None and isinstance(node, PlanNode):
-            name = node.op if node.flavor is None else f"{node.op}({node.flavor})"
-            tracer.instant(
-                "propfunc", name,
-                card=round(node.props.card, 3),
-                cost=round(self.model.total(node.props.cost), 3),
-                site=node.props.site,
-            )
+        if isinstance(node, PlanNode):
+            if self.interner is not None:
+                node = self.interner.intern(node)
+            tracer = self.tracer
+            if tracer is not None:
+                name = node.op if node.flavor is None else f"{node.op}({node.flavor})"
+                tracer.instant(
+                    "propfunc", name,
+                    card=round(node.props.card, 3),
+                    cost=round(self.model.total(node.props.cost), 3),
+                    site=node.props.site,
+                )
         return node
 
     return wrapper
@@ -129,6 +134,7 @@ class PlanFactory:
         model: CostModel | None = None,
         avoid_sites: frozenset[str] = frozenset(),
         feedback=None,
+        interner=None,
     ):
         self.catalog = catalog
         self.model = model if model is not None else CostModel(catalog)
@@ -138,6 +144,9 @@ class PlanFactory:
         self.avoid_sites = frozenset(avoid_sites)
         #: Structured-event tracer (installed by StarEngine; None = off).
         self.tracer = None
+        #: Optional :class:`~repro.plans.intern.PlanInterner` hash-consing
+        #: every node this factory emits (None = off).
+        self.interner = interner
 
     def site_usable(self, site: str) -> bool:
         """May plans execute at ``site``?  (Up and not avoided.)"""

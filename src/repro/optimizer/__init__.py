@@ -6,7 +6,15 @@ tables, and then repeatedly referencing the JoinRoot STAR to join plans
 that were generated earlier, until all tables have been joined."
 """
 
+from repro.optimizer.batch import BatchResult, BatchSpec, optimize_many
 from repro.optimizer.enumerator import JoinEnumerator
 from repro.optimizer.optimizer import OptimizationResult, StarburstOptimizer
 
-__all__ = ["JoinEnumerator", "OptimizationResult", "StarburstOptimizer"]
+__all__ = [
+    "BatchResult",
+    "BatchSpec",
+    "JoinEnumerator",
+    "OptimizationResult",
+    "StarburstOptimizer",
+    "optimize_many",
+]

@@ -217,6 +217,11 @@ class StarburstOptimizer:
             self.metrics.ingest(
                 engine.plan_table.stats.as_dict(), prefix="plantable."
             )
+            if engine.memo is not None:
+                self.metrics.ingest(engine.memo.stats.as_dict(), prefix="memo.")
+            interner = engine.ctx.factory.interner
+            if interner is not None:
+                self.metrics.ingest(interner.stats.as_dict(), prefix="intern.")
             self.metrics.observe(
                 "optimizer.elapsed_seconds", elapsed
             )

@@ -40,9 +40,12 @@ class PlanNode:
     """One LOLEPOP in a plan, with its parameters, inputs and properties.
 
     ``digest`` is a content hash of the plan's *structure* (operators,
-    parameters, children — not cost), computed once at construction from
-    the children's cached digests.  Structural equality, hashing, SAP
-    deduplication and memoization keys all run on it in O(1).
+    parameters, children — not cost), computed lazily on first use from
+    the children's cached digests and memoized on the node.  Node
+    construction itself never hashes — plans that are built and discarded
+    by a pruning pass (most of them, in a big search) pay nothing.
+    Structural equality, hashing, SAP deduplication and memoization keys
+    all run on the cached digest in O(1).
     """
 
     op: str
@@ -50,7 +53,12 @@ class PlanNode:
     params: tuple[tuple[str, Any], ...]
     inputs: tuple["PlanNode", ...]
     props: PropertyVector = field(compare=False)
-    digest: str = field(default="", compare=False)
+    _digest: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _hash: int | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         spec = spec_for(self.op)
@@ -63,7 +71,14 @@ class PlanNode:
         for key, _ in self.params:
             if key not in spec.params:
                 raise ReproError(f"{self.op} has no parameter {key!r}")
-        object.__setattr__(self, "digest", self._compute_digest())
+
+    @property
+    def digest(self) -> str:
+        digest = self._digest
+        if digest is None:
+            digest = self._compute_digest()
+            object.__setattr__(self, "_digest", digest)
+        return digest
 
     def _compute_digest(self) -> str:
         hasher = hashlib.sha256()
@@ -80,9 +95,15 @@ class PlanNode:
         return hasher.hexdigest()[:16]
 
     def __hash__(self) -> int:
-        return hash(self.digest)
+        cached = self._hash
+        if cached is None:
+            cached = hash(self.digest)
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, PlanNode):
             return NotImplemented
         return self.digest == other.digest

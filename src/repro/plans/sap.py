@@ -116,29 +116,104 @@ class SAP:
         plan does not is insurance against an outage of the cheaper
         plan's resources, and survives pruning.
         """
-        candidates = sorted(self.plans, key=lambda p: model.total(p.props.cost))
-        effective: dict[str, tuple] = {}
-        footprint: dict[str, tuple[frozenset, frozenset]] | None = None
-        for plan in candidates:
-            effective[plan.digest] = _effective_order(plan.props.order, interesting)
-        if site_diversity:
-            footprint = {
-                plan.digest: (plan_sites(plan), plan_links(plan))
-                for plan in candidates
-            }
+        judge = _DominanceJudge(self.plans, model, interesting, site_diversity)
         keep: list[PlanNode] = []
-        for cand in candidates:
-            dominated = False
-            for kept in keep:
-                if _dominates(kept, cand, model, effective, footprint):
-                    dominated = True
-                    break
-            if not dominated:
+        for cand in judge.by_cost(self.plans):
+            if not judge.dominated_by_any(keep, cand):
                 keep.append(cand)
         return SAP(keep)
 
     def __str__(self) -> str:
         return f"SAP[{len(self.plans)} plan(s)]"
+
+
+def merge_pruned(
+    existing: SAP,
+    incoming: SAP,
+    model: CostModel,
+    interesting: frozenset | None = None,
+    site_diversity: bool = False,
+) -> SAP:
+    """Merge ``incoming`` into an already-pruned ``existing`` SAP.
+
+    ``existing`` is assumed mutually non-dominated (the invariant
+    :meth:`SAP.pruned` establishes and the plan table maintains), so only
+    the cross pairs and the incoming-incoming pairs need dominance
+    checks — ``O(new × total)`` instead of re-pruning the whole union
+    from scratch on every insert.  Produces the same survivors as
+    ``existing.union(incoming).pruned(...)``: on mutual domination
+    (equivalent plans) the established plan wins, exactly as the cheaper/
+    earlier candidate wins in the full sort-based pass.
+    """
+    seen = {p.digest for p in existing.plans}
+    new = [p for p in incoming.plans if p.digest not in seen]
+    if not new:
+        return existing
+    judge = _DominanceJudge(
+        (*existing.plans, *new), model, interesting, site_diversity
+    )
+    kept_new: list[PlanNode] = []
+    established = list(existing.plans)
+    for cand in judge.by_cost(new):
+        if judge.dominated_by_any(established, cand):
+            continue
+        if judge.dominated_by_any(kept_new, cand):
+            continue
+        kept_new.append(cand)
+    if not kept_new:
+        return existing
+    survivors = [
+        plan
+        for plan in established
+        if not judge.dominated_by_any(kept_new, plan)
+    ]
+    return SAP((*survivors, *kept_new))
+
+
+class _DominanceJudge:
+    """Precomputed per-plan state for one dominance-pruning pass.
+
+    Total cost, effective (interesting-prefix) order, and — only when
+    site diversity is on — the site/link footprint are each computed once
+    per plan, instead of once per pairwise comparison.
+    """
+
+    __slots__ = ("totals", "effective", "footprint")
+
+    def __init__(
+        self,
+        plans: Iterable[PlanNode],
+        model: CostModel,
+        interesting: frozenset | None,
+        site_diversity: bool,
+    ) -> None:
+        total = model.total
+        self.totals: dict[str, float] = {}
+        self.effective: dict[str, tuple] = {}
+        self.footprint: dict[str, tuple[frozenset, frozenset]] | None = (
+            {} if site_diversity else None
+        )
+        for plan in plans:
+            digest = plan.digest
+            if digest in self.totals:
+                continue
+            self.totals[digest] = total(plan.props.cost)
+            self.effective[digest] = _effective_order(
+                plan.props.order, interesting
+            )
+            if self.footprint is not None:
+                self.footprint[digest] = (plan_sites(plan), plan_links(plan))
+
+    def by_cost(self, plans: Iterable[PlanNode]) -> list[PlanNode]:
+        return sorted(plans, key=lambda p: self.totals[p.digest])
+
+    def dominated_by_any(
+        self, keepers: Iterable[PlanNode], cand: PlanNode
+    ) -> bool:
+        for kept in keepers:
+            if _dominates(kept, cand, self):
+                return True
+        return False
 
 
 def _effective_order(order: tuple, interesting: frozenset | None) -> tuple:
@@ -158,19 +233,13 @@ def _real_cols(cols: frozenset) -> frozenset:
     return frozenset(c for c in cols if not c.column.startswith("#"))
 
 
-def _dominates(
-    a: PlanNode,
-    b: PlanNode,
-    model: CostModel,
-    effective: dict,
-    footprint: dict | None = None,
-) -> bool:
+def _dominates(a: PlanNode, b: PlanNode, judge: "_DominanceJudge") -> bool:
     pa, pb = a.props, b.props
     if pa.site != pb.site:
         return False
-    if footprint is not None:
-        a_sites, a_links = footprint[a.digest]
-        b_sites, b_links = footprint[b.digest]
+    if judge.footprint is not None:
+        a_sites, a_links = judge.footprint[a.digest]
+        b_sites, b_links = judge.footprint[b.digest]
         # A may only subsume B if everything A depends on, B depends on
         # too — otherwise B survives failures A does not.
         if not (a_sites <= b_sites and a_links <= b_links):
@@ -179,7 +248,7 @@ def _dominates(
         return False
     if pb.stored_as is not None and pa.stored_as is None:
         return False
-    if not order_satisfies(effective[a.digest], effective[b.digest]):
+    if not order_satisfies(judge.effective[a.digest], judge.effective[b.digest]):
         return False
     if not (pb.paths <= pa.paths):
         return False
@@ -187,6 +256,6 @@ def _dominates(
         return False
     if _real_cols(pa.cols) != _real_cols(pb.cols):
         return False
-    if model.total(pa.cost) > model.total(pb.cost):
+    if judge.totals[a.digest] > judge.totals[b.digest]:
         return False
     return True

@@ -66,7 +66,9 @@ from repro.stars.ast import (
 )
 from repro.obs.metrics import MetricsRegistry, stats_snapshot
 from repro.obs.trace import Tracer, active_tracer
+from repro.plans.intern import PlanInterner
 from repro.stars.glue import Glue
+from repro.stars.memo import StarMemo
 from repro.stars.plantable import PlanTable
 from repro.stars.registry import FunctionRegistry, default_registry
 
@@ -81,6 +83,7 @@ class ExpansionStats:
 
     star_references: int = 0
     memo_hits: int = 0
+    memo_misses: int = 0
     alternatives_considered: int = 0
     conditions_evaluated: int = 0
     lolepop_calls: int = 0
@@ -164,7 +167,11 @@ class StarEngine:
             # expansion trace — but the substrate is now structured events.
             tracer = Tracer()
         factory = PlanFactory(
-            catalog, model, avoid_sites=config.avoid_sites, feedback=feedback
+            catalog,
+            model,
+            avoid_sites=config.avoid_sites,
+            feedback=feedback,
+            interner=PlanInterner() if config.intern_plans else None,
         )
         factory.tracer = tracer
         if plan_table is None:
@@ -190,7 +197,9 @@ class StarEngine:
         )
         self.ctx.engine = self
         self.ctx.glue = Glue(self.ctx)
-        self._memo: dict[tuple, SAP] = {}
+        #: Per-optimization expansion memo (None when ``config.memo_stars``
+        #: is off): engine-local, never shared across optimizations.
+        self.memo: StarMemo | None = StarMemo() if config.memo_stars else None
         self._depth = 0
 
     # -- public API ---------------------------------------------------------------
@@ -237,10 +246,6 @@ class StarEngine:
     def _expand_star(self, star: StarDef, args: tuple) -> SAP:
         ctx = self.ctx
         ctx.stats.star_references += 1
-        if ctx.budget is not None:
-            # BudgetExhausted is deliberately NOT a ReproError: it must cut
-            # through every per-plan ``except ReproError`` on its way out.
-            ctx.budget.charge_expansion(star.name)
         if ctx.metrics is not None:
             ctx.metrics.inc(f"optimizer.rule.{star.name}.fired")
         if len(args) != len(star.params):
@@ -248,15 +253,24 @@ class StarEngine:
                 f"STAR {star.name} takes {len(star.params)} argument(s), "
                 f"got {len(args)}"
             )
-        key = (star.name, tuple(_canonical(a) for a in args))
-        cached = self._memo.get(key)
-        if cached is not None:
-            ctx.stats.memo_hits += 1
-            if ctx.tracer is not None:
-                ctx.tracer.instant(
-                    "star", star.name, memo_hit=True, plans=len(cached)
-                )
-            return cached
+        key = None
+        if self.memo is not None:
+            key = (star.name, tuple(_canonical(a) for a in args))
+            cached = self.memo.get(key)
+            if cached is not None:
+                # A memo hit dispatches in O(1): no alternatives evaluated,
+                # no plans built, and — deliberately — no budget charge.
+                ctx.stats.memo_hits += 1
+                if ctx.tracer is not None:
+                    ctx.tracer.instant(
+                        "star", star.name, memo_hit=True, plans=len(cached)
+                    )
+                return cached
+            ctx.stats.memo_misses += 1
+        if ctx.budget is not None:
+            # BudgetExhausted is deliberately NOT a ReproError: it must cut
+            # through every per-plan ``except ReproError`` on its way out.
+            ctx.budget.charge_expansion(star.name)
 
         if self._depth >= ctx.config.max_depth:
             raise ExpansionError(
@@ -285,7 +299,8 @@ class StarEngine:
                 else:
                     tracer.end(span, plans=len(result))
 
-        self._memo[key] = result
+        if self.memo is not None:
+            self.memo.put(key, result)
         return result
 
     def _eval_alternatives(self, star: StarDef, env: dict[str, Any]) -> SAP:
@@ -353,7 +368,7 @@ class StarEngine:
         if isinstance(value, Stream):
             return value.require(req)
         if isinstance(value, SAP):
-            return self.ctx.glue.augment(value, req)
+            return self._glue_augment(value, req)
         raise RuleError(
             f"required properties {req} attached to a non-stream argument "
             f"({type(value).__name__})"
@@ -379,12 +394,52 @@ class StarEngine:
         target = values[0]
         extra = frozenset(values[1]) if len(values) > 1 and values[1] else frozenset()
         if isinstance(target, Stream):
-            return self.ctx.glue.resolve(target, extra_preds=extra)
+            key = None
+            if self.memo is not None:
+                # Glue resolution is deterministic within one optimization:
+                # the plan-table class a stream reads is built exactly once
+                # and never replaced, so (stream, pushed preds) keys the
+                # result.  Both permutations of a merge-join pair request
+                # the same sorted sides — this is where the memo pays.
+                key = ("Glue", _canonical(target), _canonical(extra))
+                cached = self.memo.get(key)
+                if cached is not None:
+                    self.ctx.stats.memo_hits += 1
+                    if self.ctx.tracer is not None:
+                        self.ctx.tracer.instant(
+                            "glue", "resolve", memo_hit=True, plans=len(cached)
+                        )
+                    return cached
+                self.ctx.stats.memo_misses += 1
+            result = self.ctx.glue.resolve(target, extra_preds=extra)
+            if self.memo is not None:
+                self.memo.put(key, result)
+            return result
         if isinstance(target, SAP):
-            return self.ctx.glue.augment(
+            return self._glue_augment(
                 target, Requirements(extra_preds=frozenset(extra))
             )
         raise RuleError(f"Glue target must be a stream, got {type(target).__name__}")
+
+    def _glue_augment(self, sap: SAP, req: Requirements) -> SAP:
+        """Memoized veneer application for SAP-valued arguments — the
+        ``T[temp]`` / ``[order = ...]`` decorations rules attach."""
+        key = None
+        if self.memo is not None:
+            key = ("Glue.augment", _canonical(sap), req)
+            cached = self.memo.get(key)
+            if cached is not None:
+                self.ctx.stats.memo_hits += 1
+                if self.ctx.tracer is not None:
+                    self.ctx.tracer.instant(
+                        "glue", "augment", memo_hit=True, plans=len(cached)
+                    )
+                return cached
+            self.ctx.stats.memo_misses += 1
+        result = self.ctx.glue.augment(sap, req)
+        if self.memo is not None:
+            self.memo.put(key, result)
+        return result
 
     def _call_lolepop(self, name: str, flavor: str | None, values: list[Any]) -> SAP:
         ctx = self.ctx

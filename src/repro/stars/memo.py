@@ -1,0 +1,83 @@
+"""The per-optimization STAR expansion memo.
+
+Section 2.3 argues that constructive STARs dispatch cheaply because "the
+fanout of any reference of a STAR is limited to just those STARs
+referenced in its definition" — but a bottom-up enumeration still
+*references* the same STAR with the same arguments many times (every
+enclosing alternative re-references the shared fragment, E9).  The memo
+makes each distinct reference pay for expansion exactly once.
+
+Keys are ``(star name, canonicalized arguments)`` where canonicalization
+(:func:`repro.stars.engine._canonical`) reduces plans and SAPs to their
+structural digests and streams to ``(tables, Requirements, pinned plan
+digests)`` — so the Requirements accumulated on a stream argument are
+part of the key, and two references that differ only in required
+properties never alias.
+
+The memo is engine-local state: one :class:`StarMemo` per optimization,
+created and discarded with the :class:`~repro.stars.engine.StarEngine`.
+It is deliberately *not* shared across re-optimizations — a
+:class:`~repro.robust.feedback.FeedbackCache` observation recorded
+between two optimizations of the same query changes property vectors,
+and a cross-query memo would serve stale cardinalities.
+
+Budget interaction: a memo hit is not an expansion.  The engine charges
+:meth:`~repro.robust.budget.OptimizerBudget.charge_expansion` only on a
+miss, so a tight budget meters *work*, not references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
+
+from repro.obs.metrics import stats_snapshot
+
+if TYPE_CHECKING:
+    from repro.plans.sap import SAP
+
+
+@dataclass
+class MemoStats:
+    """Instrumentation of one memo's lifetime (one optimization)."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Serialize through the shared metrics-snapshot path."""
+        return stats_snapshot(self, extras={"hit_rate": self.hit_rate()})
+
+
+class StarMemo:
+    """Expansion results keyed by (STAR name, canonicalized arguments)."""
+
+    __slots__ = ("_entries", "stats")
+
+    def __init__(self) -> None:
+        self._entries: dict[Hashable, "SAP"] = {}
+        self.stats = MemoStats()
+
+    def get(self, key: Hashable) -> "SAP | None":
+        self.stats.lookups += 1
+        cached = self._entries.get(key)
+        if cached is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return cached
+
+    def put(self, key: Hashable, sap: "SAP") -> None:
+        self._entries[key] = sap
+        self.stats.entries = len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

@@ -21,7 +21,7 @@ from typing import Iterable
 from repro.cost.model import CostModel
 from repro.obs.metrics import stats_snapshot
 from repro.plans.plan import PlanNode
-from repro.plans.sap import SAP
+from repro.plans.sap import SAP, merge_pruned
 from repro.query.predicates import Predicate
 
 PlanKey = tuple[frozenset[str], frozenset[Predicate]]
@@ -104,13 +104,29 @@ class PlanTable:
         incoming = SAP(plans)
         if self.budget is not None:
             self.budget.charge_plans(len(incoming))
-        merged = incoming if existing is None else existing.union(incoming)
-        before = len(merged)
-        if self._prune:
-            merged = merged.pruned(
-                self._model, self._interesting,
+        if existing is None:
+            before = len(incoming)
+            merged = incoming
+            if self._prune:
+                merged = incoming.pruned(
+                    self._model, self._interesting,
+                    site_diversity=self._site_diversity,
+                )
+        elif self._prune:
+            # The stored SAP is non-dominated by construction, so the
+            # merge only has to judge the new plans against the class —
+            # O(new × total) instead of re-pruning the union from scratch.
+            known = {q.digest for q in existing}
+            before = len(existing) + sum(
+                1 for p in incoming if p.digest not in known
+            )
+            merged = merge_pruned(
+                existing, incoming, self._model, self._interesting,
                 site_diversity=self._site_diversity,
             )
+        else:
+            merged = existing.union(incoming)
+            before = len(merged)
         self.stats.inserts += 1
         self.stats.plans_inserted += before
         self.stats.plans_pruned += before - len(merged)
