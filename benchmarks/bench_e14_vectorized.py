@@ -1,0 +1,202 @@
+"""E14 — vectorized execution: batch-at-a-time vs tuple-at-a-time.
+
+PR 5's tentpole replaces the default execution engine with a vectorized
+interpreter: :class:`~repro.executor.batch_ops.ColumnBatch` columns flow
+through batch implementations of every LOLEPOP instead of one
+``Row`` dict at a time.  This experiment measures the win and guards the
+equivalence:
+
+* **Part A — tuple throughput.**  The E9 shared-subplan chain suite
+  (``chain:3`` .. ``chain:6``, fixed seed) executed with
+  ``executor="vectorized"`` versus ``executor="iterator"``, best-of-N
+  wall time per workload with a reused :class:`QueryExecutor`.
+  Throughput is suite-total tuples flowed per second; the per-plan
+  tuples-flowed accounting is identical across engines by construction,
+  so the ratio is a pure execution-speed comparison.
+  Gate: **>= 5x** (``benchmarks/baselines.json``).
+* **Part B — byte-identical results.**  Every workload's result rows
+  (values *and* order) must be identical across the two engines — the
+  iterator is the oracle.  Any divergence fails the experiment before
+  the throughput gate is even consulted.
+
+Results are written to ``BENCH_e14.json``.  ``--smoke`` runs the
+smaller row count for CI (same gates).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench import Table, banner
+from repro.executor import QueryExecutor
+from repro.optimizer import StarburstOptimizer
+from repro.workloads import chain_workload
+
+HERE = Path(__file__).resolve().parent
+OUTPUT = HERE.parent / "BENCH_e14.json"
+BASELINES = HERE / "baselines.json"
+
+#: E9's shared-subplan workload family (chain joins, fixed seed).
+E9_SIZES = (3, 4, 5, 6)
+E9_SEED = 31
+
+
+def _baselines() -> dict:
+    return json.loads(BASELINES.read_text())["e14"]
+
+
+def _best_run(executor: QueryExecutor, query, plan, rounds: int):
+    """Execute ``plan`` ``rounds`` times, returning the fastest result and
+    its wall time (executor reused across rounds, as a real driver would)."""
+    best = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = executor.run(query, plan)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[1]:
+            best = (result, elapsed)
+    return best
+
+
+def bench_workload(n_tables: int, rows: int, rounds: int) -> dict:
+    """One E9 chain under both engines: timings plus the identity check."""
+    wl = chain_workload(n_tables, rows=rows, seed=E9_SEED)
+    plan = StarburstOptimizer(wl.catalog).optimize(wl.query).best_plan
+
+    vec = QueryExecutor(wl.database, executor="vectorized")
+    it = QueryExecutor(wl.database, executor="iterator")
+    vec_result, vec_seconds = _best_run(vec, wl.query, plan, rounds)
+    iter_result, iter_seconds = _best_run(it, wl.query, plan, rounds)
+
+    identical = (
+        vec_result.rows == iter_result.rows
+        and vec_result.columns == iter_result.columns
+    )
+    tuples = iter_result.stats.tuples_flowed
+    if vec_result.stats.tuples_flowed != tuples:
+        raise AssertionError(
+            f"chain:{n_tables}: tuples flowed diverged "
+            f"({vec_result.stats.tuples_flowed} vs {tuples})"
+        )
+    return {
+        "workload": f"chain:{n_tables}",
+        "rows_per_table": rows,
+        "output_rows": len(vec_result),
+        "tuples_flowed": tuples,
+        "batches": vec_result.stats.batches,
+        "vectorized_seconds": vec_seconds,
+        "iterator_seconds": iter_seconds,
+        "speedup": iter_seconds / vec_seconds if vec_seconds else float("inf"),
+        "identical": identical,
+    }
+
+
+def run_experiment(smoke: bool = False) -> str:
+    gates = _baselines()
+    rows = 100 if smoke else 150
+    rounds = 3 if smoke else 7
+
+    workloads = [bench_workload(n, rows, rounds) for n in E9_SIZES]
+
+    total_tuples = sum(w["tuples_flowed"] for w in workloads)
+    vec_total = sum(w["vectorized_seconds"] for w in workloads)
+    iter_total = sum(w["iterator_seconds"] for w in workloads)
+    vec_tps = total_tuples / vec_total if vec_total else float("inf")
+    iter_tps = total_tuples / iter_total if iter_total else float("inf")
+    suite_speedup = vec_tps / iter_tps if iter_tps else float("inf")
+    all_identical = all(w["identical"] for w in workloads)
+
+    checks = {
+        "identical_results": all_identical,
+        "throughput": suite_speedup >= gates["min_throughput_speedup"],
+    }
+    ok = all(checks.values())
+
+    payload = {
+        "smoke": smoke,
+        "gates": gates,
+        "rounds": rounds,
+        "workloads": workloads,
+        "suite": {
+            "tuples_flowed": total_tuples,
+            "vectorized_seconds": vec_total,
+            "iterator_seconds": iter_total,
+            "vectorized_tuples_per_second": vec_tps,
+            "iterator_tuples_per_second": iter_tps,
+            "throughput_speedup": suite_speedup,
+        },
+        "checks": checks,
+        "ok": ok,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    table = Table(
+        ["workload", "tuples", "batches", "iterator", "vectorized",
+         "speedup", "identical"]
+    )
+    for w in workloads:
+        table.add(
+            w["workload"],
+            w["tuples_flowed"],
+            w["batches"],
+            f"{w['iterator_seconds'] * 1000:.1f} ms",
+            f"{w['vectorized_seconds'] * 1000:.1f} ms",
+            f"{w['speedup']:.2f}x",
+            "yes" if w["identical"] else "NO",
+        )
+    table.add(
+        "suite total",
+        total_tuples,
+        sum(w["batches"] for w in workloads),
+        f"{iter_total * 1000:.1f} ms",
+        f"{vec_total * 1000:.1f} ms",
+        f"{suite_speedup:.2f}x",
+        "yes" if all_identical else "NO",
+    )
+
+    lines = [
+        banner(
+            "E14 — vectorized execution: ColumnBatch vs tuple-at-a-time",
+            "The E9 chain suite executed under both engines; result rows "
+            "must be identical (values and order) and suite tuple "
+            "throughput must clear the gate.  Tuples-flowed accounting is "
+            "engine-independent, so the ratio isolates interpreter speed.",
+        ),
+        str(table),
+        f"suite throughput: vectorized {vec_tps:,.0f} tuples/s, "
+        f"iterator {iter_tps:,.0f} tuples/s "
+        f"(gate >= {gates['min_throughput_speedup']}x)",
+        f"machine-readable results: {OUTPUT.name}",
+        "",
+        "RESULT: "
+        + ("VECTORIZED GATES PASS" if ok else "VECTORIZED GATES FAIL"),
+    ]
+    return "\n".join(lines)
+
+
+def test_e14_vectorized(benchmark, report):
+    text = benchmark.pedantic(
+        lambda: run_experiment(smoke=True), rounds=1, iterations=1
+    )
+    report(text)
+    assert "VECTORIZED GATES PASS" in text
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="scaled-down workloads for CI (same gates)",
+    )
+    args = parser.parse_args()
+    text = run_experiment(smoke=args.smoke)
+    print(text)
+    return 0 if "VECTORIZED GATES PASS" in text else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,7 @@ from repro.errors import (
 from repro.executor import (
     ChaosConfig,
     ChaosEngine,
+    ColumnBatch,
     ExecutionReport,
     QueryExecutor,
     ResilientExecutor,
@@ -118,6 +119,7 @@ __all__ = [
     "CheckpointPolicy",
     "ChaosConfig",
     "ChaosEngine",
+    "ColumnBatch",
     "ColumnDef",
     "ColumnStats",
     "Cost",

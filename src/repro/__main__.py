@@ -148,7 +148,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         print("\nexpansion trace:")
         print(result.engine.trace())
     if args.execute:
-        answer = QueryExecutor(database).run(result.query, result.best_plan)
+        answer = QueryExecutor(database, executor=args.executor).run(
+            result.query, result.best_plan
+        )
         print(f"\nexecuted: {len(answer)} rows, {answer.stats.total_io} page I/Os, "
               f"{answer.stats.tuples_flowed} tuples flowed")
         limit = args.limit
@@ -358,7 +360,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     database, tracer, metrics, result = _traced_run(
         args.sql, args.workload, args.rules
     )
-    report = explain_analyze(result, database, tracer=tracer, metrics=metrics)
+    report = explain_analyze(
+        result, database, tracer=tracer, metrics=metrics,
+        executor=args.executor,
+    )
     print(f"query: {result.query}")
     print(report.render())
     if args.json:
@@ -526,6 +531,10 @@ def main(argv: list[str] | None = None) -> int:
     optimize.add_argument("--profile", action="store_true",
                           help="run under cProfile and print the top-20 "
                                "functions by cumulative time")
+    optimize.add_argument("--executor", default="vectorized",
+                          choices=QueryExecutor.EXECUTORS,
+                          help="execution engine for --execute: batch-at-a-time "
+                               "vectorized (default) or tuple-at-a-time iterator")
     optimize.set_defaults(fn=cmd_optimize)
 
     bench_opt = sub.add_parser(
@@ -624,6 +633,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="also print the plan-level summary as JSON")
     analyze.add_argument("--metrics", action="store_true",
                          help="also print the full metrics snapshot")
+    analyze.add_argument("--executor", default="vectorized",
+                         choices=QueryExecutor.EXECUTORS,
+                         help="execution engine: batch-at-a-time vectorized "
+                              "(default) or tuple-at-a-time iterator")
     analyze.set_defaults(fn=cmd_analyze)
 
     adaptive = sub.add_parser(

@@ -20,10 +20,15 @@ that evaluator, interpreting plan DAGs against a
   failover: on a permanent failure, re-execute the cheapest surviving
   alternative plan, falling back to re-optimization against the degraded
   catalog;
+* :mod:`repro.executor.vectorized` — the batch-at-a-time twin of the
+  iterator interpreter: :class:`~repro.executor.batch_ops.ColumnBatch`
+  columns flow through batch implementations of every LOLEPOP
+  (``QueryExecutor(executor="vectorized")``, the default engine);
 * :mod:`repro.executor.naive` — a brute-force reference evaluator used
   for differential testing of optimizer + executor correctness.
 """
 
+from repro.executor.batch_ops import ColumnBatch
 from repro.executor.chaos import ChaosConfig, ChaosEngine, RetryPolicy, SimClock
 from repro.executor.naive import naive_evaluate
 from repro.executor.network import LinkStats, NetworkSim
@@ -33,6 +38,7 @@ from repro.executor.runtime import ExecutionResult, ExecutionStats, QueryExecuto
 __all__ = [
     "ChaosConfig",
     "ChaosEngine",
+    "ColumnBatch",
     "ExecutionReport",
     "ExecutionResult",
     "ExecutionStats",

@@ -62,6 +62,9 @@ class ExecutionStats:
 
     output_rows: int = 0
     tuples_flowed: int = 0
+    #: ColumnBatches emitted by the vectorized executor (0 under the
+    #: tuple-at-a-time iterator).
+    batches: int = 0
     page_reads: int = 0
     page_writes: int = 0
     index_reads: int = 0
@@ -112,7 +115,15 @@ class QueryExecutor:
     transfers consult the engine (and retry transient failures under
     ``retry``), and base-table ACCESS/GET at a downed site raises
     :class:`~repro.errors.SiteUnavailableError`.
+
+    ``executor`` selects the interpreter: ``"vectorized"`` (default)
+    flows :class:`~repro.executor.batch_ops.ColumnBatch` slices of up to
+    ``batch_size`` rows through batch-at-a-time LOLEPOP kernels;
+    ``"iterator"`` is the original tuple-at-a-time oracle.  Both produce
+    byte-identical rows and accounting (see ``tests/test_vectorized.py``).
     """
+
+    EXECUTORS = ("vectorized", "iterator")
 
     def __init__(
         self,
@@ -122,10 +133,24 @@ class QueryExecutor:
         tracer: Tracer | None = None,
         checkpoints=None,
         temp_cache: dict[str, TableData] | None = None,
+        executor: str = "vectorized",
+        batch_size: int = 1024,
+        metrics=None,
     ):
+        if executor not in self.EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r} (expected one of {self.EXECUTORS})"
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.db = database
         self.chaos = chaos
         self.retry = retry
+        self.executor = executor
+        self.batch_size = batch_size
+        #: Optional MetricsRegistry for batch-shape metrics
+        #: (``exec.batches`` / ``exec.rows_per_batch``).
+        self.metrics = metrics
         #: Structured-event tracer; normalized so that a disabled tracer
         #: costs exactly as much as no tracer (the <5% overhead budget).
         self.tracer = active_tracer(tracer)
@@ -153,12 +178,13 @@ class QueryExecutor:
         ``node_counts`` (``id(node) -> [rows, opens]``), when given,
         switches on per-operator row accounting for EXPLAIN ANALYZE.
         """
+        if self.executor == "vectorized":
+            batches, stats = self._run_batches(plan, node_counts)
+            rows = [row for batch in batches for row in batch.rows()]
+            stats.output_rows = len(rows)
+            return rows, stats
         stats = ExecutionStats()
-        network = NetworkSim(
-            chaos=self.chaos, retry=self.retry, clock=SimClock(),
-            tracer=self.tracer,
-        )
-        self.last_network = network
+        network = self._fresh_network()
         run = _PlanRun(
             self.db, stats, network, chaos=self.chaos,
             tracer=self.tracer, node_counts=node_counts,
@@ -167,24 +193,64 @@ class QueryExecutor:
         started = time.perf_counter()
         io_before = self.db.io.snapshot()
         try:
-            rows = list(run.execute(plan, bindings=None))
+            rows = run.run_to_rows(plan)
         finally:
-            delta = self.db.io.since(io_before)
-            stats.page_reads = delta.page_reads
-            stats.page_writes = delta.page_writes
-            stats.index_reads = delta.index_reads
-            stats.index_writes = delta.index_writes
-            stats.messages = network.total_messages
-            stats.bytes_shipped = network.total_bytes
-            stats.ship_attempts = network.total_attempts
-            stats.ship_retries = network.total_retries
-            stats.transient_failures = network.total_failures
-            stats.backoff_seconds = network.total_backoff
-            stats.elapsed_seconds = time.perf_counter() - started
-            if self.temp_cache is None:
-                self.db.drop_temps()
+            self._finish_stats(stats, network, io_before, started)
         stats.output_rows = len(rows)
         return rows, stats
+
+    def _fresh_network(self) -> NetworkSim:
+        network = NetworkSim(
+            chaos=self.chaos, retry=self.retry, clock=SimClock(),
+            tracer=self.tracer,
+        )
+        self.last_network = network
+        return network
+
+    def _finish_stats(
+        self, stats: ExecutionStats, network: NetworkSim, io_before, started: float
+    ) -> None:
+        """Fill the I/O, network, and timing totals of one execution —
+        also on the error path, so failover/adaptive code always sees the
+        true cost of an aborted attempt."""
+        delta = self.db.io.since(io_before)
+        stats.page_reads = delta.page_reads
+        stats.page_writes = delta.page_writes
+        stats.index_reads = delta.index_reads
+        stats.index_writes = delta.index_writes
+        stats.messages = network.total_messages
+        stats.bytes_shipped = network.total_bytes
+        stats.ship_attempts = network.total_attempts
+        stats.ship_retries = network.total_retries
+        stats.transient_failures = network.total_failures
+        stats.backoff_seconds = network.total_backoff
+        stats.elapsed_seconds = time.perf_counter() - started
+        if self.temp_cache is None:
+            self.db.drop_temps()
+
+    def _run_batches(self, plan, node_counts):
+        """Vectorized execution to a list of ColumnBatches (same stats
+        envelope as the iterator path)."""
+        # Imported lazily: vectorized.py imports this module's shared
+        # join helpers, so a top-level import would be circular.
+        from repro.executor.vectorized import _BatchRun
+
+        stats = ExecutionStats()
+        network = self._fresh_network()
+        run = _BatchRun(
+            self.db, stats, network, chaos=self.chaos,
+            tracer=self.tracer, node_counts=node_counts,
+            checkpoints=self.checkpoints, temp_cache=self.temp_cache,
+            batch_size=self.batch_size, metrics=self.metrics,
+        )
+        started = time.perf_counter()
+        io_before = self.db.io.snapshot()
+        try:
+            batches = list(run.execute(plan, None))
+        finally:
+            self._finish_stats(stats, network, io_before, started)
+        stats.output_rows = sum(len(b) for b in batches)
+        return batches, stats
 
     def run(
         self,
@@ -193,6 +259,8 @@ class QueryExecutor:
         node_counts: dict[int, list[int]] | None = None,
     ) -> ExecutionResult:
         """Execute a plan and apply the query's projection and ORDER BY."""
+        if self.executor == "vectorized":
+            return self._run_vectorized(query, plan, node_counts)
         raw, stats = self.run_plan(plan, node_counts=node_counts)
         projected = []
         for row in raw:
@@ -212,6 +280,57 @@ class QueryExecutor:
                     reverse=order_item.descending,
                 )
             projected = [p for _, p in decorated]
+        stats.output_rows = len(projected)
+        return ExecutionResult(
+            columns=tuple(item.alias for item in query.select),
+            rows=projected,
+            stats=stats,
+        )
+
+    def _run_vectorized(
+        self,
+        query: QueryBlock,
+        plan: PlanNode,
+        node_counts: dict[int, list[int]] | None,
+    ) -> ExecutionResult:
+        """Batch-native projection and ORDER BY: the result tuples are
+        zipped straight out of the output columns, so the vectorized path
+        never materializes per-row dicts end to end."""
+        from repro.executor.batch_ops import BatchRowView, concat_batches
+
+        batches, stats = self._run_batches(plan, node_counts)
+        combined = concat_batches(batches)
+        n = combined.length
+        out_cols: list = []
+        for item in query.select:
+            expr = item.expr
+            if isinstance(expr, ColumnRef):
+                col = combined.columns.get(expr)
+                if col is None:
+                    if n:
+                        raise ExecutionError(
+                            f"unbound column {expr} during evaluation"
+                        )
+                    col = []
+                out_cols.append(col)
+                continue
+            view = BatchRowView(combined.columns)
+            ctx = RowContext(view)
+            col = []
+            for i in range(n):
+                view.index = i
+                col.append(expr.evaluate(ctx))
+            out_cols.append(col)
+        projected = list(zip(*out_cols)) if out_cols else [()] * n
+        if query.order_by and n:
+            perm = list(range(n))
+            for order_item in reversed(query.order_by):
+                col = combined.column(order_item.column)
+                perm.sort(
+                    key=lambda i: _sort_key(col[i]),
+                    reverse=order_item.descending,
+                )
+            projected = [projected[i] for i in perm]
         stats.output_rows = len(projected)
         return ExecutionResult(
             columns=tuple(item.alias for item in query.select),
@@ -252,6 +371,11 @@ class _PlanRun:
             temp_cache if temp_cache is not None else {}
         )
         self._inherited = set(self._temps)
+
+    def run_to_rows(self, plan: PlanNode) -> list[Row]:
+        """Drain the root stream into a row list (the entry point shared
+        with the vectorized ``_BatchRun``)."""
+        return list(self.execute(plan, bindings=None))
 
     def _check_site(self, site: str | None) -> None:
         """Fail with SiteUnavailableError when the node's execution site
@@ -402,7 +526,7 @@ class _PlanRun:
         bindings: RowContext | None,
     ) -> Iterator[Row]:
         index = data.index(path.name)
-        lo, hi = self._probe_bounds(index.key_columns, preds, bindings)
+        lo, hi = probe_bounds(index.key_columns, preds, bindings)
         tid = tid_column(index.key_columns[0].table)
         key_positions = {c: i for i, c in enumerate(index.key_columns)}
         for key, (rid, stored_row) in index.tree.scan_range(lo=lo, hi=hi):
@@ -423,40 +547,6 @@ class _PlanRun:
                 if column in eval_row:
                     row[column] = eval_row[column]
             yield row
-
-    def _probe_bounds(
-        self,
-        key_columns: tuple[ColumnRef, ...],
-        preds: frozenset[Predicate],
-        bindings: RowContext | None,
-    ) -> tuple[tuple | None, tuple | None]:
-        """Derive B-tree probe bounds from sargable predicates whose value
-        side is evaluable now (constants or outer-bound columns)."""
-        empty = RowContext({}, outer=bindings)
-        lo: list[Any] = []
-        hi: list[Any] = []
-        bounded = True
-        for column in key_columns:
-            if not bounded:
-                break
-            eq_value = None
-            for pred in preds:
-                sarg = sargable_column(
-                    pred, column.table, bound_tables=pred.tables() - {column.table}
-                )
-                if sarg is None or sarg[0] != column or sarg[1] != "=":
-                    continue
-                try:
-                    eq_value = sarg[2].evaluate(empty)
-                except ExecutionError:
-                    continue
-                break
-            if eq_value is not None:
-                lo.append(eq_value)
-                hi.append(eq_value)
-                continue
-            bounded = False
-        return (tuple(lo) or None, tuple(hi) or None)
 
     # -- GET -----------------------------------------------------------------------------
 
@@ -742,6 +832,43 @@ class _PlanRun:
             else:
                 total += 4
         return total
+
+
+def probe_bounds(
+    key_columns: tuple[ColumnRef, ...],
+    preds: frozenset[Predicate],
+    bindings: RowContext | None,
+) -> tuple[tuple | None, tuple | None]:
+    """Derive B-tree probe bounds from sargable predicates whose value
+    side is evaluable now (constants or outer-bound columns).
+
+    Shared by both executors: the vectorized index scan probes the same
+    key range with the same outer-binding resolution."""
+    empty = RowContext({}, outer=bindings)
+    lo: list[Any] = []
+    hi: list[Any] = []
+    bounded = True
+    for column in key_columns:
+        if not bounded:
+            break
+        eq_value = None
+        for pred in preds:
+            sarg = sargable_column(
+                pred, column.table, bound_tables=pred.tables() - {column.table}
+            )
+            if sarg is None or sarg[0] != column or sarg[1] != "=":
+                continue
+            try:
+                eq_value = sarg[2].evaluate(empty)
+            except ExecutionError:
+                continue
+            break
+        if eq_value is not None:
+            lo.append(eq_value)
+            hi.append(eq_value)
+            continue
+        bounded = False
+    return (tuple(lo) or None, tuple(hi) or None)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,871 @@
+"""The vectorized (batch-at-a-time) plan interpreter.
+
+Same LOLEPOP semantics as :class:`repro.executor.runtime._PlanRun`, but
+streams flow as :class:`~repro.executor.batch_ops.ColumnBatch` objects of
+up to ``batch_size`` rows instead of per-tuple dicts, so Python dispatch,
+predicate evaluation and join assembly amortize over whole batches.  The
+iterator executor stays available (``QueryExecutor(executor="iterator")``)
+as the correctness oracle; the equivalence contract is:
+
+* **byte-identical result rows, in the same order** — every operator
+  preserves the iterator's emission order (scans in heap/key order, hash
+  joins outer-major in bucket insertion order, merge joins outer-major
+  within matching groups);
+* **identical accounting** — ``tuples_flowed``, per-node
+  ``[rows, opens]`` counts for EXPLAIN ANALYZE, temp materialization,
+  checkpoint observations, and shipped bytes all match the iterator;
+* **batch-boundary robustness** — cardinality checkpoints fire with the
+  same counts at the same SORT/STORE materialization points (via
+  :class:`~repro.robust.checkpoint.CheckpointBatchIterator`), and SHIP
+  transfers one message bundle per batch: a chaos retry re-sends the
+  failed batch inside :meth:`NetworkSim.transfer`, and rows are counted
+  as delivered exactly once, after their batch's transfer succeeded —
+  never once per attempt (the SHIP-vs-GET row accounting fix).
+
+Sideways information passing is preserved exactly: the nested-loop join
+binds each outer row into a :class:`~repro.query.expressions.RowContext`
+and re-executes the inner subplan per outer row, so index probes under an
+NL join behave identically (including their I/O accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.catalog.schema import AccessPath
+from repro.errors import CardinalityViolation, ExecutionError
+from repro.executor.batch_ops import (
+    EVAL_FAILED,
+    BatchBuilder,
+    ColumnBatch,
+    apply_filter,
+    batch_bytes,
+    batches_of,
+    compile_predicates,
+    concat_batches,
+    extract_values,
+    key_tuples,
+    sort_permutation,
+)
+from repro.executor.chaos import ChaosEngine
+from repro.executor.network import NetworkSim
+from repro.executor.runtime import (
+    ExecutionStats,
+    Row,
+    _hash_sides,
+    _merge_triples,
+    _tid_table,
+    probe_bounds,
+)
+from repro.obs.trace import Tracer
+from repro.plans.operators import (
+    ACCESS,
+    BUILDIX,
+    DEDUP,
+    FILTER,
+    GET,
+    INTERSECT,
+    JOIN,
+    PROJECT,
+    SHIP,
+    SORT,
+    STORE,
+    UNION,
+)
+from repro.plans.plan import PlanNode
+from repro.query.expressions import ColumnRef, RowContext
+from repro.query.predicates import Comparison, Predicate
+from repro.robust.checkpoint import CheckpointBatchIterator
+from repro.storage.heap import RID
+from repro.storage.table import Database, TableData, tid_column
+
+#: Default rows per ColumnBatch.  Large enough to amortize per-batch
+#: dispatch, small enough that SORT/JOIN intermediates stay cache-friendly
+#: and most test streams still fit in one batch (keeping per-stream SHIP
+#: message accounting identical to the iterator).
+DEFAULT_BATCH_SIZE = 1024
+
+
+class _BatchRun:
+    """One vectorized plan execution: dispatch + temp cache + accounting.
+
+    Mirrors ``_PlanRun`` method-for-method; every ``_dispatch`` target
+    returns an iterator of dense, non-empty ColumnBatches.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        stats: ExecutionStats,
+        network: NetworkSim,
+        chaos: ChaosEngine | None = None,
+        tracer: Tracer | None = None,
+        node_counts: dict[int, list[int]] | None = None,
+        checkpoints=None,
+        temp_cache: dict[str, TableData] | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        metrics=None,
+    ):
+        self.db = db
+        self.stats = stats
+        self.network = network
+        self.chaos = chaos
+        self.tracer = tracer
+        self.node_counts = node_counts
+        self.checkpoints = checkpoints
+        self.batch_size = batch_size
+        self.metrics = metrics
+        self._temps: dict[str, TableData] = (
+            temp_cache if temp_cache is not None else {}
+        )
+        self._inherited = set(self._temps)
+        #: Compiled predicate filters, keyed by (id(node), role) — plan
+        #: nodes are alive for the whole run, so identity keys are stable
+        #: and an NL inner re-executed per outer row compiles once.
+        self._filters: dict[tuple[int, str], object] = {}
+
+    # -- public entry ----------------------------------------------------------------
+
+    def run_to_rows(self, plan: PlanNode) -> list[Row]:
+        """Drain the root stream, converting batches to the iterator
+        executor's dict-row representation."""
+        rows: list[Row] = []
+        for batch in self.execute(plan, None):
+            rows.extend(batch.rows())
+        return rows
+
+    def _check_site(self, site: str | None) -> None:
+        if self.chaos is not None and site is not None:
+            self.chaos.check_site(site)
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def execute(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        if (
+            self.tracer is None
+            and self.node_counts is None
+            and self.metrics is None
+        ):
+            stats = self.stats
+            for batch in self._dispatch(node, bindings):
+                n = len(batch)
+                if n == 0:
+                    continue
+                stats.tuples_flowed += n
+                stats.batches += 1
+                yield batch
+            return
+        yield from self._execute_observed(node, bindings)
+
+    def _execute_observed(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        tracer = self.tracer
+        metrics = self.metrics
+        counts = self.node_counts
+        entry = None
+        if counts is not None:
+            entry = counts.setdefault(id(node), [0, 0])
+            entry[1] += 1
+        span = None
+        if tracer is not None:
+            label = node.op if node.flavor is None else f"{node.op}({node.flavor})"
+            span = tracer.begin("executor", label, site=node.props.site or "")
+        rows = 0
+        try:
+            for batch in self._dispatch(node, bindings):
+                n = len(batch)
+                if n == 0:
+                    continue
+                self.stats.tuples_flowed += n
+                self.stats.batches += 1
+                rows += n
+                if metrics is not None:
+                    metrics.inc("exec.batches")
+                    metrics.observe("exec.rows_per_batch", n)
+                yield batch
+        finally:
+            if entry is not None:
+                entry[0] += rows
+            if span is not None:
+                tracer.end(span, rows=rows)
+
+    def _dispatch(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        if node.op == ACCESS:
+            return self._access(node, bindings)
+        if node.op == GET:
+            return self._get(node, bindings)
+        if node.op == SORT:
+            return self._sort(node, bindings)
+        if node.op == SHIP:
+            return self._ship(node, bindings)
+        if node.op == FILTER:
+            return self._filter(node, bindings)
+        if node.op == JOIN:
+            return self._join(node, bindings)
+        if node.op == UNION:
+            return self._union(node, bindings)
+        if node.op == DEDUP:
+            return self._dedup(node, bindings)
+        if node.op == PROJECT:
+            return self._project(node, bindings)
+        if node.op == INTERSECT:
+            return self._intersect(node, bindings)
+        if node.op in (STORE, BUILDIX):
+            data = self._materialize(node)
+            return self._scan_table_data(
+                node, data, node.props.cols, frozenset(), bindings
+            )
+        raise ExecutionError(f"no run-time routine for LOLEPOP {node.op}")
+
+    # -- compiled-filter cache -------------------------------------------------------
+
+    def _filter_for(
+        self,
+        node: PlanNode,
+        role: str,
+        preds: frozenset[Predicate],
+        schema: frozenset[ColumnRef],
+    ):
+        key = (id(node), role)
+        try:
+            return self._filters[key]
+        except KeyError:
+            filt = compile_predicates(preds, schema) if preds else None
+            self._filters[key] = filt
+            return filt
+
+    # -- ACCESS ----------------------------------------------------------------------
+
+    def _access(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        path: AccessPath | None = node.param("path")
+        columns: frozenset[ColumnRef] = node.param("columns") or frozenset()
+        preds: frozenset[Predicate] = node.param("preds") or frozenset()
+
+        if node.flavor in ("heap", "btree"):
+            self._check_site(node.props.site)
+            data = self.db.table(node.param("table"))
+            if node.flavor == "btree":
+                return self._scan_clustered(node, data, columns, preds, bindings)
+            return self._scan_table_data(node, data, columns, preds, bindings)
+
+        if node.flavor == "temp":
+            data = self._materialize_input(node)
+            cols = columns or node.props.cols
+            return self._scan_table_data(node, data, cols, preds, bindings)
+
+        assert node.flavor == "index"
+        if node.inputs:  # dynamic index on a temp
+            data = self._materialize_input(node)
+        else:
+            self._check_site(node.props.site)
+            data = self.db.table(node.param("table"))
+        assert path is not None
+        return self._index_scan(
+            node, data, path, columns or node.props.cols, preds, bindings
+        )
+
+    def _scan_table_data(
+        self,
+        node: PlanNode,
+        data: TableData,
+        columns: frozenset[ColumnRef],
+        preds: frozenset[Predicate],
+        bindings: RowContext | None,
+    ) -> Iterator[ColumnBatch]:
+        wanted = [c for c in columns if not c.column.startswith("#")]
+        want_tid = any(c.column.startswith("#") for c in columns)
+        positions = [(c, data.position(c)) for c in wanted if data.has_column(c)]
+        tid = tid_column(_tid_table(columns, data)) if want_tid else None
+        # Pull whole pages (same lazy one-read-per-page accounting as the
+        # iterator's row-at-a-time scan) and slice them into batches.
+        # RIDs are only built when the stream actually wants a TID column.
+        batch_size = self.batch_size
+        rids: list = []
+        raws: list = []
+        for page_no, slots, page_rows in data.scan_pages():
+            raws.extend(page_rows)
+            if tid is not None:
+                if slots is None:
+                    rids.extend(RID(page_no, s) for s in range(len(page_rows)))
+                else:
+                    rids.extend(RID(page_no, s) for s in slots)
+            if len(raws) < batch_size:
+                continue
+            yield self._scan_batch(node, raws, rids, positions, tid, preds, bindings)
+            rids, raws = [], []
+        if raws:
+            yield self._scan_batch(node, raws, rids, positions, tid, preds, bindings)
+
+    def _scan_batch(
+        self, node, raws, rids, positions, tid, preds, bindings
+    ) -> ColumnBatch:
+        cols: dict[ColumnRef, list] = {
+            c: [r[pos] for r in raws] for c, pos in positions
+        }
+        if tid is not None:
+            cols[tid] = rids
+        batch = ColumnBatch(cols, len(raws))
+        filt = self._filter_for(node, "scan", preds, frozenset(cols))
+        return apply_filter(batch, filt, bindings)
+
+    def _scan_clustered(
+        self,
+        node: PlanNode,
+        data: TableData,
+        columns: frozenset[ColumnRef],
+        preds: frozenset[Predicate],
+        bindings: RowContext | None,
+    ) -> Iterator[ColumnBatch]:
+        primary = next(
+            (ix for ix in data.indexes.values() if ix.clustered), None
+        )
+        if primary is None:
+            yield from self._scan_table_data(node, data, columns, preds, bindings)
+            return
+        positions = [(c, data.position(c)) for c in columns if data.has_column(c)]
+        entries = ((rid, raw) for _, (rid, raw) in primary.tree.scan_all())
+        for chunk in batches_of(entries, len(positions), self.batch_size):
+            cols = {c: [raw[pos] for _, raw in chunk] for c, pos in positions}
+            batch = ColumnBatch(cols, len(chunk))
+            filt = self._filter_for(node, "scan", preds, frozenset(cols))
+            yield apply_filter(batch, filt, bindings)
+
+    def _index_scan(
+        self,
+        node: PlanNode,
+        data: TableData,
+        path: AccessPath,
+        columns: frozenset[ColumnRef],
+        preds: frozenset[Predicate],
+        bindings: RowContext | None,
+    ) -> Iterator[ColumnBatch]:
+        index = data.index(path.name)
+        lo, hi = probe_bounds(index.key_columns, preds, bindings)
+        tid = tid_column(index.key_columns[0].table)
+        key_positions = {c: i for i, c in enumerate(index.key_columns)}
+        out_cols = [c for c in columns if not c.column.startswith("#")]
+        for chunk in batches_of(
+            index.tree.scan_range(lo=lo, hi=hi), len(key_positions), self.batch_size
+        ):
+            # Evaluation columns cover everything the entry carries (key
+            # columns, the stored row of a clustered index, and the TID),
+            # exactly like the iterator's per-entry eval_row.
+            eval_cols: dict[ColumnRef, list] = {
+                c: [key[i] for key, _ in chunk] for c, i in key_positions.items()
+            }
+            if index.clustered:
+                for column in data.schema:
+                    if column in eval_cols:
+                        continue
+                    pos = data.position(column)
+                    eval_cols[column] = [
+                        None if stored is None else stored[pos]
+                        for _, (_, stored) in chunk
+                    ]
+            eval_cols[tid] = [rid for _, (rid, _) in chunk]
+            batch = ColumnBatch(eval_cols, len(chunk))
+            filt = self._filter_for(node, "scan", preds, frozenset(eval_cols))
+            batch = apply_filter(batch, filt, bindings).compact()
+            cols: dict[ColumnRef, list] = {tid: batch.columns[tid]}
+            for column in out_cols:
+                col = batch.columns.get(column)
+                if col is not None:
+                    cols[column] = col
+            yield ColumnBatch(cols, batch.length)
+
+    # -- GET -------------------------------------------------------------------------
+
+    def _get(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        table = node.param("table")
+        columns: frozenset[ColumnRef] = node.param("columns") or frozenset()
+        preds: frozenset[Predicate] = node.param("preds") or frozenset()
+        self._check_site(node.props.site)
+        data = self.db.table(table)
+        tid = tid_column(table)
+        positions = [(c, data.position(c)) for c in columns if data.has_column(c)]
+        fetch = data.fetch
+        for batch in self.execute(node.inputs[0], bindings):
+            batch = batch.compact()
+            rid_col = batch.columns.get(tid)
+            if rid_col is None or any(rid is None for rid in rid_col):
+                raise ExecutionError(f"GET on {table}: input stream lacks a TID")
+            fetched = [
+                fetch(rid if isinstance(rid, RID) else RID(*rid))
+                for rid in rid_col
+            ]
+            cols = dict(batch.columns)
+            for c, pos in positions:
+                cols[c] = [raw[pos] for raw in fetched]
+            out = ColumnBatch(cols, batch.length)
+            filt = self._filter_for(node, "get", preds, frozenset(cols))
+            yield apply_filter(out, filt, bindings)
+
+    # -- SORT / SHIP / FILTER --------------------------------------------------------
+
+    def _sort(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        order: tuple[ColumnRef, ...] = node.param("order", ())
+        source = self.execute(node.inputs[0], bindings)
+        # SORT buffers its whole input — the cardinality checkpoint fires
+        # on the final batch boundary with the exact stream count, as in
+        # the iterator (streams under sideways bindings are never checked).
+        if self.checkpoints is not None and bindings is None:
+            source = CheckpointBatchIterator(
+                source, node.inputs[0], self._checkpoint
+            )
+        combined = concat_batches(list(source))
+        perm = sort_permutation(combined, order)
+        for start in range(0, combined.length, self.batch_size):
+            yield combined.take(perm[start:start + self.batch_size])
+
+    def _ship(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        to_site = node.param("to_site")
+        from_site = node.inputs[0].props.site
+        transferred = False
+        for batch in self.execute(node.inputs[0], bindings):
+            batch = batch.compact()
+            # One message bundle per batch.  transfer() owns the retry
+            # loop, so a transient chaos failure re-sends this batch
+            # without re-reading it from upstream, and the rows are
+            # yielded downstream (and counted) exactly once, after the
+            # transfer succeeded — delivered-row accounting at SHIP can
+            # never exceed what GET sees above.
+            self.network.transfer(
+                from_site, to_site, batch.length, batch_bytes(batch)
+            )
+            transferred = True
+            yield batch
+        if not transferred:
+            # The iterator charges one (empty) transfer per drained
+            # stream; keep that accounting for empty streams.
+            self.network.transfer(from_site, to_site, 0, 0)
+
+    def _filter(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        preds: frozenset[Predicate] = node.param("preds") or frozenset()
+        for batch in self.execute(node.inputs[0], bindings):
+            batch = batch.compact()
+            filt = self._filter_for(node, "filter", preds, frozenset(batch.columns))
+            yield apply_filter(batch, filt, bindings)
+
+    # -- JOIN ------------------------------------------------------------------------
+
+    def _join(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        if node.flavor == "NL":
+            return self._join_nl(node, bindings)
+        if node.flavor == "MG":
+            return self._join_mg(node, bindings)
+        if node.flavor == "HA":
+            return self._join_ha(node, bindings)
+        if node.flavor == "SJ":
+            return self._join_sj(node, bindings)
+        raise ExecutionError(f"no run-time routine for JOIN flavor {node.flavor}")
+
+    def _check_filter(
+        self,
+        node: PlanNode,
+        preds: frozenset[Predicate],
+        chunk: ColumnBatch,
+        bindings: RowContext | None,
+    ) -> ColumnBatch:
+        filt = self._filter_for(node, "check", preds, frozenset(chunk.columns))
+        return apply_filter(chunk, filt, bindings)
+
+    def _join_nl(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        outer, inner = node.inputs
+        preds = self._join_predicates(node)
+        builder = BatchBuilder(self.batch_size)
+        for obatch in self.execute(outer, bindings):
+            obatch = obatch.compact()
+            ocols = obatch.columns
+            for oi in range(obatch.length):
+                orow = {c: col[oi] for c, col in ocols.items()}
+                inner_bindings = RowContext(orow, outer=bindings)
+                for ibatch in self.execute(inner, inner_bindings):
+                    ibatch = ibatch.compact()
+                    n = ibatch.length
+                    combined = {c: [v] * n for c, v in orow.items()}
+                    combined.update(ibatch.columns)  # inner wins overlaps
+                    chunk = self._check_filter(
+                        node, preds, ColumnBatch(combined, n), bindings
+                    )
+                    yield from builder.append_batch(chunk)
+        yield from builder.flush()
+
+    def _join_ha(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        outer, inner = node.inputs
+        join_preds: frozenset[Predicate] = node.param("join_preds") or frozenset()
+        residual: frozenset[Predicate] = node.param("residual_preds") or frozenset()
+        sides = _hash_sides(join_preds, outer.props.tables)
+        if not sides:
+            raise ExecutionError("hash join without hashable predicates")
+        inner_exprs = [expr for _, expr in sides]
+        outer_exprs = [expr for expr, _ in sides]
+        # When every hash side is a bare column, a bucket match on
+        # non-None keys IS the conjunction of the hashed equality
+        # predicates, so exactly those predicates can be elided from the
+        # check — provided rows with a None key value are dropped up
+        # front (a None comparison is false, so the iterator's check
+        # would drop those matches anyway).  Non-hashable join predicates
+        # (inequalities, same-side comparisons) always stay in the check.
+        covered = all(
+            isinstance(o, ColumnRef) and isinstance(i, ColumnRef)
+            for o, i in sides
+        )
+        if covered:
+            hashed = _hashed_predicates(join_preds, outer.props.tables)
+            check = (join_preds | residual) - hashed
+        else:
+            check = join_preds | residual
+        single = len(sides) == 1
+
+        # Single-column keys stay raw values (EVAL_FAILED marks
+        # uncomputable rows); multi-column keys are tuples (None marks
+        # uncomputable rows, as key_tuples defines).
+        def batch_keys(batch: ColumnBatch, exprs: list) -> list:
+            if single:
+                return extract_values(batch, exprs[0], bindings)
+            return key_tuples(batch, exprs, bindings)
+
+        # Build: buffer the inner side columnar, bucket global row indices.
+        # Failed keys never enter the buckets, and with ``covered`` the
+        # None-valued keys don't either — so the probe side needs no key
+        # validity test at all: invalid keys simply miss.
+        inner_cols: dict[ColumnRef, list] | None = None
+        buckets: dict = {}
+        base = 0
+        for ibatch in self.execute(inner, bindings):
+            ibatch = ibatch.compact()
+            if inner_cols is None:
+                inner_cols = {c: list(col) for c, col in ibatch.columns.items()}
+            else:
+                for c, col in inner_cols.items():
+                    col.extend(ibatch.columns[c])
+            for i, key in enumerate(batch_keys(ibatch, inner_exprs)):
+                if single:
+                    if key is EVAL_FAILED or (covered and key is None):
+                        continue
+                elif key is None or (covered and None in key):
+                    continue
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [base + i]
+                else:
+                    bucket.append(base + i)
+            base += ibatch.length
+
+        builder = BatchBuilder(self.batch_size)
+        bucket_get = buckets.get
+        for obatch in self.execute(outer, bindings):
+            obatch = obatch.compact()
+            orep: list[int] = []
+            igat: list[int] = []
+            for oi, key in enumerate(batch_keys(obatch, outer_exprs)):
+                matches = bucket_get(key)
+                if not matches:
+                    continue
+                orep.extend([oi] * len(matches))
+                igat.extend(matches)
+            if not orep:
+                continue
+            combined = {
+                c: [col[i] for i in orep] for c, col in obatch.columns.items()
+            }
+            assert inner_cols is not None  # matches imply a non-empty inner
+            for c, col in inner_cols.items():
+                combined[c] = [col[j] for j in igat]  # inner wins overlaps
+            chunk = self._check_filter(
+                node, check, ColumnBatch(combined, len(orep)), bindings
+            )
+            yield from builder.append_batch(chunk)
+        yield from builder.flush()
+
+    def _join_sj(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        outer, inner = node.inputs
+        join_preds: frozenset[Predicate] = node.param("join_preds") or frozenset()
+        sides = _hash_sides(join_preds, outer.props.tables)
+        if not sides:
+            raise ExecutionError("semijoin without hashable predicates")
+        inner_exprs = [expr for _, expr in sides]
+        outer_exprs = [expr for expr, _ in sides]
+        keys: set[tuple] = set()
+        for ibatch in self.execute(inner, bindings):
+            for key in key_tuples(ibatch, inner_exprs, bindings):
+                if key is not None:
+                    keys.add(key)
+        for obatch in self.execute(outer, bindings):
+            obatch = obatch.compact()
+            keep = [
+                i
+                for i, key in enumerate(key_tuples(obatch, outer_exprs, bindings))
+                if key is not None and key in keys
+            ]
+            if keep:
+                yield obatch if len(keep) == obatch.length else obatch.take(keep)
+
+    def _join_mg(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        outer, inner = node.inputs
+        join_preds: frozenset[Predicate] = node.param("join_preds") or frozenset()
+        residual: frozenset[Predicate] = node.param("residual_preds") or frozenset()
+        triples = _merge_triples(join_preds, outer.props.tables)
+        if not triples:
+            raise ExecutionError("merge join without column-to-column predicates")
+        outer_cols = tuple(o for o, _, _ in triples)
+        inner_cols = tuple(i for _, i, _ in triples)
+        merge_set = {pred for _, _, pred in triples}
+        # Group equality on non-None keys IS the merge predicates (they
+        # are bare col=col by construction, and None-keyed groups are
+        # skipped below), so they drop out of the residual check even
+        # when the plan repeats them in residual_preds.
+        check = (join_preds | residual) - merge_set
+
+        outer_groups = _batch_groups(
+            self.execute(outer, bindings), outer_cols
+        )
+        inner_groups = _batch_groups(
+            self.execute(inner, bindings), inner_cols
+        )
+        builder = BatchBuilder(self.batch_size)
+        outer_item = next(outer_groups, None)
+        inner_item = next(inner_groups, None)
+        while outer_item is not None and inner_item is not None:
+            outer_key, ocols, on = outer_item
+            inner_key, icols, inn = inner_item
+            if None in outer_key:
+                outer_item = next(outer_groups, None)
+                continue
+            if None in inner_key:
+                inner_item = next(inner_groups, None)
+                continue
+            if outer_key < inner_key:
+                outer_item = next(outer_groups, None)
+            elif outer_key > inner_key:
+                inner_item = next(inner_groups, None)
+            else:
+                # Outer-major cross product of the two groups: repeat each
+                # outer value inner-group times, tile the inner columns.
+                combined = {
+                    c: [v for v in col for _ in range(inn)]
+                    for c, col in ocols.items()
+                }
+                for c, col in icols.items():
+                    combined[c] = col * on  # inner wins overlaps
+                chunk = self._check_filter(
+                    node, check, ColumnBatch(combined, on * inn), bindings
+                )
+                yield from builder.append_batch(chunk)
+                outer_item = next(outer_groups, None)
+                inner_item = next(inner_groups, None)
+        yield from builder.flush()
+
+    def _join_predicates(self, node: PlanNode) -> frozenset[Predicate]:
+        join_preds: frozenset[Predicate] = node.param("join_preds") or frozenset()
+        residual: frozenset[Predicate] = node.param("residual_preds") or frozenset()
+        return join_preds | residual
+
+    # -- UNION / DEDUP / PROJECT / INTERSECT ----------------------------------------
+
+    def _union(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        yield from self.execute(node.inputs[0], bindings)
+        yield from self.execute(node.inputs[1], bindings)
+
+    def _project(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        columns: frozenset[ColumnRef] = node.param("columns") or frozenset()
+        for batch in self.execute(node.inputs[0], bindings):
+            batch = batch.compact()
+            cols = {c: col for c, col in batch.columns.items() if c in columns}
+            yield ColumnBatch(cols, batch.length)
+
+    def _intersect(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        key: tuple[ColumnRef, ...] = node.param("key", ())
+        right_keys: set[tuple] = set()
+        for batch in self.execute(node.inputs[1], bindings):
+            right_keys.update(_group_keys(batch.compact(), key))
+        for batch in self.execute(node.inputs[0], bindings):
+            batch = batch.compact()
+            keep = [
+                i for i, k in enumerate(_group_keys(batch, key))
+                if k in right_keys
+            ]
+            if keep:
+                yield batch if len(keep) == batch.length else batch.take(keep)
+
+    def _dedup(
+        self, node: PlanNode, bindings: RowContext | None
+    ) -> Iterator[ColumnBatch]:
+        key: tuple[ColumnRef, ...] = node.param("key", ())
+        seen: set[tuple] = set()
+        for batch in self.execute(node.inputs[0], bindings):
+            batch = batch.compact()
+            keep = []
+            for i, values in enumerate(_group_keys(batch, key)):
+                if values in seen:
+                    continue
+                seen.add(values)
+                keep.append(i)
+            if keep:
+                yield batch if len(keep) == batch.length else batch.take(keep)
+
+    # -- materialization -------------------------------------------------------------
+
+    def _materialize_input(self, node: PlanNode) -> TableData:
+        if not node.inputs:
+            raise ExecutionError(f"{node.op} access without a stored input")
+        return self._materialize(node.inputs[0])
+
+    def _materialize(self, node: PlanNode) -> TableData:
+        digest = node.digest
+        cached = self._temps.get(digest)
+        if cached is not None:
+            if digest in self._inherited:  # carried over from an aborted attempt
+                self._inherited.discard(digest)
+                self.stats.temps_reused += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "robust", "temp_reuse",
+                        op=node.op, digest=digest,
+                        tables=",".join(sorted(node.props.tables)),
+                    )
+            return cached
+        if node.op == BUILDIX:
+            data = self._materialize(node.inputs[0])
+            key: tuple[ColumnRef, ...] = node.param("key", ())
+            path = next(iter(node.props.paths - node.inputs[0].props.paths))
+            if path.name not in data.indexes:  # reused temps keep their indexes
+                data.add_index(path, key)
+            self._temps[digest] = data
+            return data
+        if node.op != STORE:
+            raise ExecutionError(f"cannot materialize a {node.op} node")
+        schema = tuple(sorted(node.props.cols, key=str))
+        data = self.db.make_temp(schema, site=node.props.site)
+        # The STORE input never depends on outer bindings (Glue keeps
+        # sideways predicates out of materialized temps).
+        count = 0
+        insert = data.insert
+        for batch in self.execute(node.inputs[0], None):
+            batch = batch.compact()
+            cols = [batch.column(c) for c in schema]
+            for row in zip(*cols):
+                insert(row)
+            count += batch.length
+        self.stats.temps_materialized += 1
+        self._temps[digest] = data
+        if self.checkpoints is not None:
+            self._checkpoint(node.inputs[0], count)
+        return data
+
+    def _checkpoint(self, node: PlanNode, actual: int) -> None:
+        """Run a cardinality checkpoint; on abort, the shared stats ride
+        along on the violation (same contract as the iterator)."""
+        try:
+            self.checkpoints.observe(node, actual)
+        except CardinalityViolation as violation:
+            violation.partial_stats = self.stats
+            raise
+
+
+def _hashed_predicates(
+    join_preds: frozenset[Predicate], outer_tables: frozenset[str]
+) -> frozenset[Predicate]:
+    """The subset of join predicates that ``_hash_sides`` turns into hash
+    key pairs (same membership condition, order-insensitive)."""
+    hashed = set()
+    for pred in join_preds:
+        if not isinstance(pred, Comparison) or pred.op != "=":
+            continue
+        left_tables, right_tables = pred.left.tables(), pred.right.tables()
+        if not left_tables or not right_tables:
+            continue
+        if (left_tables <= outer_tables and not right_tables & outer_tables) or (
+            right_tables <= outer_tables and not left_tables & outer_tables
+        ):
+            hashed.add(pred)
+    return frozenset(hashed)
+
+
+def _group_keys(batch: ColumnBatch, key: tuple[ColumnRef, ...]) -> list[tuple]:
+    """Per-row key tuples over possibly-absent key columns (``row.get``)."""
+    if not key:
+        return [()] * batch.length
+    cols = [batch.column(c) for c in key]
+    return list(zip(*cols))
+
+
+def _batch_groups(
+    batches: Iterator[ColumnBatch], key_cols: tuple[ColumnRef, ...]
+) -> Iterator[tuple[tuple, dict[ColumnRef, list], int]]:
+    """Group consecutive rows of a batch stream by key (inputs sorted).
+
+    Yields ``(key, group columns, group length)``; raises on out-of-order
+    input exactly like the iterator's ``_grouped``.
+    """
+    current_key: tuple | None = None
+    group: dict[ColumnRef, list] | None = None
+    group_len = 0
+    for batch in batches:
+        batch = batch.compact()
+        if batch.length == 0:
+            continue
+        keys = _group_keys(batch, key_cols)
+        n = batch.length
+        i = 0
+        while i < n:
+            key = keys[i]
+            j = i + 1
+            while j < n and keys[j] == key:
+                j += 1
+            if current_key is None:
+                current_key = key
+                group = {c: col[i:j] for c, col in batch.columns.items()}
+                group_len = j - i
+            elif key == current_key:
+                assert group is not None
+                for c, col in group.items():
+                    col.extend(batch.columns[c][i:j])
+                group_len += j - i
+            else:
+                sortable_prev = tuple(
+                    (v is None, v) for v in current_key
+                )
+                sortable_now = tuple((v is None, v) for v in key)
+                if sortable_now < sortable_prev:
+                    raise ExecutionError(
+                        f"merge join input out of order: {key} after {current_key}"
+                    )
+                yield current_key, group, group_len
+                current_key = key
+                group = {c: col[i:j] for c, col in batch.columns.items()}
+                group_len = j - i
+            i = j
+    if current_key is not None:
+        yield current_key, group, group_len

@@ -138,6 +138,7 @@ class AdaptiveExecutor:
         retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        executor: str = "vectorized",
     ):
         self.db = database
         self.optimizer = optimizer
@@ -145,6 +146,7 @@ class AdaptiveExecutor:
         self.max_reoptimizations = max_reoptimizations
         self.chaos = chaos
         self.retry = retry
+        self.executor = executor
         self.tracer = active_tracer(tracer)
         self.metrics = metrics
         if feedback is None:
@@ -192,6 +194,7 @@ class AdaptiveExecutor:
                     metrics=self.metrics,
                     checkpoints=policy,
                     temp_cache=temp_cache,
+                    executor=self.executor,
                 )
                 try:
                     exec_report = resilient.run(opt)

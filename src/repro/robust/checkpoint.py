@@ -14,11 +14,15 @@ turns into a re-optimization.
 :class:`CheckpointIterator` is the stream-shaped form of the same check
 for call sites that cannot buffer rows themselves: it counts rows as they
 flow and runs the checkpoint when the wrapped iterator is exhausted.
+:class:`CheckpointBatchIterator` is its batch-granular twin for the
+vectorized executor: it counts whole :class:`ColumnBatch` lengths as the
+batches flow, so checkpoints fire on batch boundaries with exactly the
+same counts as the tuple-at-a-time form.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.errors import CardinalityViolation
 from repro.obs.analyze import q_error
@@ -137,3 +141,42 @@ class CheckpointIterator:
             raise
         self.count += 1
         return row
+
+
+class CheckpointBatchIterator:
+    """Wrap a batch stream; checkpoint its producing node on exhaustion.
+
+    The batch-granular twin of :class:`CheckpointIterator`: each yielded
+    batch adds its row count, and the checkpoint runs exactly once, when
+    the underlying batch iterator is exhausted — so the vectorized SORT
+    observes the same stream count at the same materialization boundary
+    as the iterator executor.  ``observe`` is a callable rather than a
+    policy so the executor can attach its partial stats to a violation
+    before it escapes.
+    """
+
+    def __init__(
+        self,
+        batches: Iterable,
+        node: PlanNode,
+        observe: Callable[[PlanNode, int], None],
+    ):
+        self._batches = iter(batches)
+        self._node = node
+        self._observe = observe
+        self.count = 0
+        self._checked = False
+
+    def __iter__(self) -> Iterator:
+        return self
+
+    def __next__(self):
+        try:
+            batch = next(self._batches)
+        except StopIteration:
+            if not self._checked:
+                self._checked = True
+                self._observe(self._node, self.count)
+            raise
+        self.count += len(batch)
+        return batch

@@ -90,3 +90,18 @@ class HeapFile:
             for slot, row in enumerate(page):
                 if row is not None:
                     yield RID(page_no, slot), row
+
+    def scan_pages(self) -> Iterator[tuple[int, list[int] | None, list[Row]]]:
+        """Page-at-a-time scan for the vectorized executor, with the same
+        lazy accounting as :meth:`scan` — one read charged per page
+        entered.  Yields ``(page_no, slots, rows)`` per page; ``slots`` is
+        ``None`` for a tombstone-free page (rows occupy slots ``0..n-1``
+        and the yielded list is the live page — callers must not mutate
+        it), so the common case builds no RIDs and copies nothing."""
+        for page_no, page in enumerate(self._pages):
+            self._io.read_pages(1)
+            if None in page:
+                slots = [s for s, row in enumerate(page) if row is not None]
+                yield page_no, slots, [page[s] for s in slots]
+            else:
+                yield page_no, None, page

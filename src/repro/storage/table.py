@@ -131,6 +131,10 @@ class TableData:
         """Physically-sequential scan in heap order."""
         return self.heap.scan()
 
+    def scan_pages(self) -> Iterator[tuple[int, list[int] | None, list[Row]]]:
+        """Page-at-a-time scan in heap order (vectorized executor)."""
+        return self.heap.scan_pages()
+
     def index(self, name: str) -> IndexData:
         try:
             return self.indexes[name]

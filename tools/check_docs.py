@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Documentation lint (run in CI as a required step).
+
+Two checks, both cheap and purely static:
+
+1. **Module docstrings** — every public module under ``src/repro/``
+   (anything not starting with ``_``, plus ``__init__.py`` and
+   ``__main__.py``) must carry a module docstring.  The docstring-first
+   convention is what makes ``docs/architecture.md``'s package map
+   verifiable against the code.
+2. **CLI coverage** — every subcommand registered via ``add_parser``
+   in ``src/repro/__main__.py`` must have a matching ``## `name```
+   section in ``docs/cli.md``, and ``docs/cli.md`` must not document
+   subcommands that no longer exist.
+
+Exit status 0 when clean, 1 with one ``error:`` line per problem.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+CLI_DOC = REPO / "docs" / "cli.md"
+MAIN = SRC / "__main__.py"
+
+
+def public_modules() -> list[Path]:
+    """Every module that is part of the public surface: not ``_private``,
+    dunders (``__init__``, ``__main__``) included."""
+    modules = []
+    for path in sorted(SRC.rglob("*.py")):
+        name = path.stem
+        if name.startswith("_") and not name.startswith("__"):
+            continue
+        modules.append(path)
+    return modules
+
+
+def check_docstrings() -> list[str]:
+    errors = []
+    for path in public_modules():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if not ast.get_docstring(tree):
+            rel = path.relative_to(REPO)
+            errors.append(f"{rel}: public module has no module docstring")
+    return errors
+
+
+def registered_subcommands() -> set[str]:
+    """Subcommand names passed to ``add_parser(...)`` in ``__main__.py``."""
+    tree = ast.parse(MAIN.read_text(), filename=str(MAIN))
+    names = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_parser"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            names.add(node.args[0].value)
+    return names
+
+
+def documented_subcommands() -> set[str]:
+    """``## `name``` headings in docs/cli.md."""
+    text = CLI_DOC.read_text()
+    return set(re.findall(r"^## `([a-z0-9-]+)`", text, flags=re.MULTILINE))
+
+
+def check_cli_doc() -> list[str]:
+    if not CLI_DOC.exists():
+        return [f"{CLI_DOC.relative_to(REPO)}: missing"]
+    registered = registered_subcommands()
+    documented = documented_subcommands()
+    errors = []
+    for name in sorted(registered - documented):
+        errors.append(
+            f"docs/cli.md: subcommand {name!r} is registered in "
+            f"src/repro/__main__.py but has no '## `{name}`' section"
+        )
+    for name in sorted(documented - registered):
+        errors.append(
+            f"docs/cli.md: documents subcommand {name!r} which is not "
+            "registered in src/repro/__main__.py"
+        )
+    return errors
+
+
+def main() -> int:
+    errors = check_docstrings() + check_cli_doc()
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    modules = len(public_modules())
+    subcommands = len(registered_subcommands())
+    verdict = "PASS" if not errors else f"FAIL ({len(errors)} problem(s))"
+    print(
+        f"docs lint: {verdict} — {modules} module(s), "
+        f"{subcommands} subcommand(s) checked"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
