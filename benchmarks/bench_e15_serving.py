@@ -1,0 +1,329 @@
+"""E15 — optimizer-as-a-service: cache warmth, overload, drift recovery.
+
+PR 6's tentpole wraps the optimizer in a serving layer
+(:mod:`repro.serve`): a plan-template cache with selectivity-band and
+drift guards, an asyncio front end with bounded-queue admission control,
+and a graceful degradation ladder.  This experiment measures the cache
+win and gates the robustness claims:
+
+* **Part A — cold vs warm throughput.**  A deterministic Zipf-skewed
+  request stream (:class:`~repro.serve.loadgen.LoadSpec`) served twice:
+  by a cache-disabled service (``cache_capacity=0`` — every request is a
+  full optimization) and by a warmed cache (one priming pass, then the
+  measured pass).  Gates: warm optimizations/sec **>= 5x** cold, and the
+  warm pass's cache hit rate clears the floor
+  (``benchmarks/baselines.json``).
+* **Part B — overload accounting.**  The warmup/steady/overload phase
+  schedule against a small queue: the overload phase *must* shed load,
+  and every single request must resolve — success, labeled
+  degraded-tier plan, or explicit rejection.  Gates: **zero unhandled
+  requests**, rejections > 0, observed queue depth never exceeds the
+  admission bound.
+* **Part C — drift trips the breaker, re-optimization recovers.**  A
+  served-and-cached query's feedback entry is overwritten with a
+  cardinality ~50x the optimizer's estimate.  Repeated requests must
+  trip the per-template circuit breaker within ``breaker_threshold``
+  lookups, and the forced re-optimization (feedback now steering the
+  estimates) must produce a plan whose Q-error against the observation
+  is back inside ``drift_threshold`` — while the pre-drift Q-error was
+  far outside it.
+
+Results are written to ``BENCH_e15.json``.  ``--smoke`` serves a shorter
+stream for CI (same gates).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench import Table, banner
+from repro.obs import q_error
+from repro.query import parse_query
+from repro.serve import (
+    LoadSpec,
+    OptimizerService,
+    Request,
+    ServiceConfig,
+    default_phases,
+    drive,
+    generate,
+    percentile,
+)
+
+HERE = Path(__file__).resolve().parent
+OUTPUT = HERE.parent / "BENCH_e15.json"
+BASELINES = HERE / "baselines.json"
+
+
+def _baselines() -> dict:
+    return json.loads(BASELINES.read_text())["e15"]
+
+
+def _service(catalog, **overrides) -> OptimizerService:
+    defaults = dict(workers=2, queue_limit=64)
+    defaults.update(overrides)
+    return OptimizerService(catalog, service=ServiceConfig(**defaults))
+
+
+def _throughput(service: OptimizerService, requests, burst: int):
+    """Serve the stream once, returning (optimizations/sec, responses)."""
+    started = time.perf_counter()
+    responses = service.serve_all(requests, burst=burst)
+    elapsed = time.perf_counter() - started
+    assert all(r.ok for r in responses), "throughput stream must not shed"
+    return len(responses) / elapsed if elapsed else float("inf"), responses
+
+
+def part_a_throughput(smoke: bool) -> dict:
+    """Cold (cache off) vs warm (primed cache) optimizations per second."""
+    count = 40 if smoke else 120
+    spec = LoadSpec(wild_fraction=0.0, deadline_fraction=0.0)
+    workload, requests = generate(spec, count)
+    burst = 4  # small bursts: load never reaches a degradation threshold
+
+    cold = _service(workload.catalog, cache_capacity=0)
+    cold_rps, _ = _throughput(cold, requests, burst)
+
+    warm = _service(workload.catalog)
+    warm.serve_all(requests, burst=burst)  # priming pass
+    primed_lookups = warm.cache.stats.lookups
+    primed_hits = warm.cache.stats.hits
+    warm_rps, warm_responses = _throughput(warm, requests, burst)
+    warm_lookups = warm.cache.stats.lookups - primed_lookups
+    warm_hits = warm.cache.stats.hits - primed_hits
+    warm_hit_rate = warm_hits / warm_lookups if warm_lookups else 0.0
+
+    return {
+        "requests": count,
+        "templates": spec.templates,
+        "zipf_s": spec.zipf_s,
+        "cold_rps": cold_rps,
+        "warm_rps": warm_rps,
+        "warm_cold_ratio": warm_rps / cold_rps if cold_rps else float("inf"),
+        "warm_hit_rate": warm_hit_rate,
+        "warm_cached_responses": sum(
+            1 for r in warm_responses if r.tier == "cached"
+        ),
+        "warm_p99_seconds": percentile(
+            [r.elapsed_seconds for r in warm_responses], 0.99
+        ),
+    }
+
+
+def part_b_overload(smoke: bool) -> dict:
+    """Warmup/steady/overload against a small queue: full accounting."""
+    count = 48 if smoke else 150
+    queue_limit = 6
+    spec = LoadSpec(wild_fraction=0.1, deadline_fraction=0.15)
+    workload, requests = generate(spec, count)
+    service = _service(workload.catalog, queue_limit=queue_limit)
+    phases = default_phases(requests, queue_limit)
+    report = drive(service, phases)
+
+    overload = report.phase("overload")
+    responses = report.responses
+    accounted = all(
+        r.ok or r.rejected or r.tier == "error" for r in responses
+    )
+    return {
+        "requests": count,
+        "queue_limit": queue_limit,
+        "phases": report.as_dict()["phases"],
+        "unhandled": report.unhandled,
+        "errors": sum(1 for r in responses if r.tier == "error"),
+        "every_request_accounted": accounted,
+        "overload_rejected": overload.rejected,
+        "overload_admitted": overload.admitted,
+        "max_queue_depth": service.max_queue_depth,
+        "degraded_responses": sum(1 for r in responses if r.degraded),
+        "p99_seconds": percentile(
+            [r.elapsed_seconds for r in responses if not r.rejected], 0.99
+        ),
+    }
+
+
+def part_c_drift(smoke: bool) -> dict:
+    """Inject drift, count lookups until the breaker trips, verify recovery."""
+    spec = LoadSpec(wild_fraction=0.0, deadline_fraction=0.0)
+    workload, requests = generate(spec, 1)
+    breaker_threshold = 3
+    drift_threshold = 10.0
+    service = _service(
+        workload.catalog,
+        breaker_threshold=breaker_threshold,
+        drift_threshold=drift_threshold,
+    )
+    request = requests[0]
+
+    # Serve once: full optimization, entry cached.
+    [first] = service.serve_all([request])
+    assert first.tier == "full", f"priming request served {first.tier}"
+    block = parse_query(request.query, workload.catalog)
+    entry = service.cache.lookup_stale(block)
+    estimated_before = entry.estimated_card
+
+    # The runtime observes ~50x the estimate for the exact cached query.
+    observed = max(1.0, estimated_before * 50.0)
+    service.feedback.record(*entry.exact_key, observed)
+    q_before = q_error(estimated_before, observed)
+
+    # Repeated requests: the breaker must trip within breaker_threshold
+    # drift checks, forcing a re-optimization that replaces the entry.
+    trips_before = service.cache.stats.breaker_trips
+    lookups_to_trip = 0
+    for _ in range(breaker_threshold + 2):
+        lookups_to_trip += 1
+        [response] = service.serve_all([request])
+        if service.cache.stats.breaker_trips > trips_before:
+            break
+    tripped = service.cache.stats.breaker_trips > trips_before
+    reoptimized_tier = response.tier
+
+    new_entry = service.cache.lookup_stale(block)
+    q_after = q_error(new_entry.estimated_card, observed)
+
+    # The breaker is closed again: the next request is a fresh cache hit.
+    [after] = service.serve_all([request])
+
+    return {
+        "estimated_before": estimated_before,
+        "observed": observed,
+        "q_before": q_before,
+        "q_after": q_after,
+        "drift_threshold": drift_threshold,
+        "breaker_threshold": breaker_threshold,
+        "lookups_to_trip": lookups_to_trip,
+        "tripped": tripped,
+        "reoptimized_tier": reoptimized_tier,
+        "recovered_hit_tier": after.tier,
+        "breaker_trips": service.cache.stats.breaker_trips,
+        "drift_failures": service.cache.stats.drift_failures,
+    }
+
+
+def run_experiment(smoke: bool = False) -> str:
+    gates = _baselines()
+    part_a = part_a_throughput(smoke)
+    part_b = part_b_overload(smoke)
+    part_c = part_c_drift(smoke)
+
+    checks = {
+        "warm_cold_ratio": (
+            part_a["warm_cold_ratio"] >= gates["min_warm_cold_ratio"]
+        ),
+        "warm_hit_rate": (
+            part_a["warm_hit_rate"] >= gates["warm_hit_rate_floor"]
+        ),
+        "zero_unhandled": part_b["unhandled"] == 0,
+        "every_request_accounted": part_b["every_request_accounted"],
+        "overload_sheds": part_b["overload_rejected"] > 0,
+        "queue_bounded": (
+            part_b["max_queue_depth"] <= part_b["queue_limit"]
+        ),
+        "breaker_trips": part_c["tripped"],
+        "trip_within_threshold": (
+            part_c["lookups_to_trip"] <= part_c["breaker_threshold"]
+        ),
+        "drift_was_out_of_threshold": (
+            part_c["q_before"] > part_c["drift_threshold"]
+        ),
+        "reoptimized_qerror_recovers": (
+            part_c["q_after"] <= part_c["drift_threshold"]
+        ),
+        "breaker_closes_after_reopt": part_c["recovered_hit_tier"] == "cached",
+    }
+    ok = all(checks.values())
+
+    payload = {
+        "smoke": smoke,
+        "gates": gates,
+        "throughput": part_a,
+        "overload": part_b,
+        "drift": part_c,
+        "checks": checks,
+        "ok": ok,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    table = Table(["metric", "value", "gate"])
+    table.add(
+        "cold optimizations/s", f"{part_a['cold_rps']:.1f}", "",
+    )
+    table.add(
+        "warm optimizations/s", f"{part_a['warm_rps']:.1f}",
+        f">= {gates['min_warm_cold_ratio']}x cold",
+    )
+    table.add(
+        "warm/cold ratio", f"{part_a['warm_cold_ratio']:.2f}x",
+        f">= {gates['min_warm_cold_ratio']}x",
+    )
+    table.add(
+        "warm hit rate", f"{part_a['warm_hit_rate']:.2f}",
+        f">= {gates['warm_hit_rate_floor']}",
+    )
+    table.add("warm p99", f"{part_a['warm_p99_seconds'] * 1e3:.2f} ms", "")
+    table.add("overload unhandled", part_b["unhandled"], "== 0")
+    table.add("overload rejected", part_b["overload_rejected"], "> 0")
+    table.add(
+        "max queue depth", part_b["max_queue_depth"],
+        f"<= {part_b['queue_limit']}",
+    )
+    table.add("overload p99", f"{part_b['p99_seconds'] * 1e3:.2f} ms", "")
+    table.add(
+        "drift Q-error before", f"{part_c['q_before']:.1f}",
+        f"> {part_c['drift_threshold']}",
+    )
+    table.add(
+        "drift Q-error after", f"{part_c['q_after']:.2f}",
+        f"<= {part_c['drift_threshold']}",
+    )
+    table.add(
+        "lookups to breaker trip", part_c["lookups_to_trip"],
+        f"<= {part_c['breaker_threshold']}",
+    )
+
+    lines = [
+        banner(
+            "E15 — optimizer-as-a-service: plan-template cache + overload",
+            "A Zipf-skewed request stream served cold (cache disabled) and "
+            "warm; an overload phase that must shed with explicit "
+            "rejections and zero unhandled requests; injected cardinality "
+            "drift that must trip the per-template circuit breaker and "
+            "recover through feedback-steered re-optimization.",
+        ),
+        str(table),
+        "failed checks: "
+        + (", ".join(k for k, v in checks.items() if not v) or "none"),
+        f"machine-readable results: {OUTPUT.name}",
+        "",
+        "RESULT: " + ("SERVING GATES PASS" if ok else "SERVING GATES FAIL"),
+    ]
+    return "\n".join(lines)
+
+
+def test_e15_serving(benchmark, report):
+    text = benchmark.pedantic(
+        lambda: run_experiment(smoke=True), rounds=1, iterations=1
+    )
+    report(text)
+    assert "SERVING GATES PASS" in text
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shorter request streams for CI (same gates)",
+    )
+    args = parser.parse_args()
+    text = run_experiment(smoke=args.smoke)
+    print(text)
+    return 0 if "SERVING GATES PASS" in text else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

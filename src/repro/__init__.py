@@ -28,6 +28,8 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.optimizer``  bottom-up join enumeration + public facade
 ``repro.executor``   the query evaluator (run-time LOLEPOP routines)
 ``repro.obs``      observability: tracing, metrics, EXPLAIN ANALYZE
+``repro.serve``    optimizer-as-a-service: plan-template cache, admission
+                   control, graceful degradation tiers, load generation
 ``repro.baseline``   EXODUS-style transformational optimizer (comparison)
 ``repro.catalog``    schemas, access paths, sites, statistics
 ``repro.storage``    heaps, B-trees, stored/temp tables
@@ -99,6 +101,13 @@ from repro.robust import (
     OptimizerBudget,
     heuristic_plan,
 )
+from repro.serve import (
+    OptimizerService,
+    PlanTemplateCache,
+    Request,
+    Response,
+    ServiceConfig,
+)
 from repro.stars import StarEngine, parse_rules, validate_rules
 from repro.stars.builtin_rules import default_rules, extended_rules
 from repro.storage import Database
@@ -139,16 +148,21 @@ __all__ = [
     "OptimizationResult",
     "OptimizerBudget",
     "OptimizerConfig",
+    "OptimizerService",
     "ParseError",
     "PlanNode",
+    "PlanTemplateCache",
     "PropertyVector",
     "QueryBlock",
     "QueryError",
     "QueryExecutor",
     "ReproError",
+    "Request",
     "Requirements",
     "ResilientExecutor",
+    "Response",
     "RetryPolicy",
+    "ServiceConfig",
     "RuleError",
     "SAP",
     "SimClock",

@@ -23,6 +23,12 @@ Subcommands:
   the exit code reflects errors, and ``--strict`` also fails on
   warnings such as an exclusive STAR with no unconditional final
   alternative.
+* ``serve`` — run queries through the optimizer *service*: bounded-queue
+  admission control, the plan-template cache, and graceful degradation
+  tiers; repeated submissions demonstrate warm cache hits.
+* ``loadgen`` — generate a deterministic skewed request stream and drive
+  the service through warmup/steady/overload phases (experiment E15's
+  CLI face).
 """
 
 from __future__ import annotations
@@ -460,6 +466,106 @@ def cmd_adaptive(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _service_config(args: argparse.Namespace) -> "ServiceConfig":
+    from repro.serve import ServiceConfig
+
+    return ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_capacity=args.cache_size,
+        band_factor=args.band,
+        drift_threshold=args.drift_threshold,
+        breaker_threshold=args.breaker,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run queries through the optimizer service and report tier labels,
+    cache behavior, and admission-control outcomes."""
+    import json as _json
+
+    from repro.serve import OptimizerService, Request
+
+    catalog, _database, default_query = _load_workload_full(args.workload)
+    queries = args.sql if args.sql else [default_query]
+    requests = [
+        Request(query=q, tenant=f"tenant{i % max(1, args.tenants)}")
+        for i in range(args.repeat)
+        for q in queries
+    ]
+    service = OptimizerService(
+        catalog, rules=_rule_set(args.rules), service=_service_config(args)
+    )
+    responses = service.serve_all(requests, burst=args.burst)
+    for index, response in enumerate(responses):
+        label = response.tier + (" (degraded)" if response.degraded else "")
+        if response.rejected:
+            print(f"#{index}: REJECTED (queue full at depth "
+                  f"{response.queue_depth})")
+        elif response.ok:
+            print(f"#{index}: {label}  plan {response.plan_digest} "
+                  f"cost {response.best_cost:.2f}")
+        else:
+            print(f"#{index}: ERROR {response.error}", file=sys.stderr)
+    report = service.report()
+    print()
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            _json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        print(f"JSON report written to {args.json}")
+    return 1 if report.errors else 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive the service with a deterministic skewed request stream."""
+    import json as _json
+
+    from repro.serve import (
+        LoadSpec, OptimizerService, default_phases, drive, generate,
+    )
+
+    spec = LoadSpec(
+        n_tables=args.tables,
+        rows=args.rows,
+        templates=args.templates,
+        zipf_s=args.skew,
+        param_jitter=args.jitter,
+        wild_fraction=args.wild,
+        tenants=args.tenants,
+        seed=args.seed,
+    )
+    workload, requests = generate(spec, args.requests)
+    service = OptimizerService(
+        workload.catalog, rules=_rule_set(args.rules),
+        service=_service_config(args),
+    )
+    phases = default_phases(requests, args.queue_limit)
+    report = drive(service, phases)
+    print(report.summary())
+    print()
+    service_report = service.report()
+    print(service_report.summary())
+    if args.json:
+        payload = {
+            "spec": {
+                "tables": spec.n_tables, "rows": spec.rows,
+                "templates": spec.templates, "zipf_s": spec.zipf_s,
+                "requests": args.requests, "seed": spec.seed,
+            },
+            "load": report.as_dict(),
+            "service": service_report.as_dict(),
+        }
+        with open(args.json, "w") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"JSON report written to {args.json}")
+    if report.unhandled:
+        print(f"error: {report.unhandled} unhandled request(s)",
+              file=sys.stderr)
+        return 1
+    return 1 if service_report.errors else 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """Statically lint a rule set; ``--strict`` fails on warnings too."""
     registry = default_registry()
@@ -678,6 +784,87 @@ def main(argv: list[str] | None = None) -> int:
                           help="also fail on warnings (e.g. an exclusive "
                                "STAR with no unconditional final alternative)")
     validate.set_defaults(fn=cmd_validate)
+
+    def _service_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=2,
+                       help="worker coroutines draining the queue (default: 2)")
+        p.add_argument("--queue-limit", type=int, default=16,
+                       help="admission-control bound: requests beyond this "
+                            "many queued are shed (default: 16)")
+        p.add_argument("--cache-size", type=int, default=256,
+                       help="plan-template cache entries; 0 disables caching "
+                            "(default: 256)")
+        p.add_argument("--band", type=float, default=4.0,
+                       help="selectivity-band factor for cached-plan reuse "
+                            "(default: 4.0)")
+        p.add_argument("--drift-threshold", type=float, default=10.0,
+                       help="Q-error beyond which a feedback observation "
+                            "counts as drift (default: 10)")
+        p.add_argument("--breaker", type=int, default=3,
+                       help="consecutive drift failures that trip an entry's "
+                            "circuit breaker (default: 3)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run queries through the optimizer service (cache + "
+             "admission control + degradation tiers)",
+    )
+    serve.add_argument("sql", nargs="*",
+                       help="SELECT statements (default: the workload's "
+                            "own query)")
+    serve.add_argument("--workload", default="chain:4",
+                       help="paper | paper-distributed | chain:N | star:N "
+                            "| clique:N (default: chain:4)")
+    serve.add_argument("--rules", default="extended",
+                       help="base | extended | all")
+    serve.add_argument("--repeat", type=int, default=3,
+                       help="times each query is submitted — repeats "
+                            "demonstrate warm cache hits (default: 3)")
+    serve.add_argument("--tenants", type=int, default=1,
+                       help="tenants requests are spread over round-robin "
+                            "(default: 1)")
+    serve.add_argument("--burst", type=int, default=None,
+                       help="requests submitted back-to-back before awaiting "
+                            "(default: the queue limit)")
+    _service_flags(serve)
+    serve.add_argument("--json", metavar="FILE",
+                       help="write the service report as JSON")
+    serve.set_defaults(fn=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the service with a deterministic skewed request "
+             "stream (warmup/steady/overload)",
+    )
+    loadgen.add_argument("--requests", type=int, default=60,
+                         help="total requests across all phases (default: 60)")
+    loadgen.add_argument("--tables", type=int, default=4,
+                         help="chain-workload size templates are built over "
+                              "(default: 4)")
+    loadgen.add_argument("--rows", type=int, default=200,
+                         help="rows per workload table (default: 200)")
+    loadgen.add_argument("--templates", type=int, default=6,
+                         help="distinct query templates in the pool "
+                              "(default: 6)")
+    loadgen.add_argument("--skew", type=float, default=1.2,
+                         help="Zipf exponent of the template mix; 0 = uniform "
+                              "(default: 1.2)")
+    loadgen.add_argument("--jitter", type=int, default=3,
+                         help="max +/- jitter on a template's center constant "
+                              "(default: 3)")
+    loadgen.add_argument("--wild", type=float, default=0.0,
+                         help="fraction of requests with out-of-band "
+                              "constants (default: 0)")
+    loadgen.add_argument("--tenants", type=int, default=3,
+                         help="tenants, assigned round-robin (default: 3)")
+    loadgen.add_argument("--seed", type=int, default=7,
+                         help="request-stream RNG seed (default: 7)")
+    loadgen.add_argument("--rules", default="extended",
+                         help="base | extended | all")
+    _service_flags(loadgen)
+    loadgen.add_argument("--json", metavar="FILE",
+                         help="write load + service reports as JSON")
+    loadgen.set_defaults(fn=cmd_loadgen)
 
     args = parser.parse_args(argv)
     try:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.catalog.catalog import Catalog
 from repro.config import OptimizerConfig
@@ -31,6 +31,7 @@ from repro.cost.model import CostWeights
 from repro.errors import ReproError
 from repro.plans.plan import PlanNode
 from repro.query.query import QueryBlock
+from repro.query.template import PlanKey, query_key
 from repro.robust.budget import OptimizerBudget
 from repro.stars.ast import RuleSet
 
@@ -63,6 +64,9 @@ class BatchResult:
     memo_stats: dict[str, float] = field(default_factory=dict)
     budget_exhausted: bool = False
     heuristic_fallback: bool = False
+    #: True when this result was copied from an identical query earlier
+    #: in the batch (``optimize_many(dedup=True)``) instead of optimized.
+    deduped: bool = False
     error: str | None = None
 
     def as_dict(self) -> dict:
@@ -77,6 +81,7 @@ class BatchResult:
             "elapsed_seconds": self.elapsed_seconds,
             "budget_exhausted": self.budget_exhausted,
             "heuristic_fallback": self.heuristic_fallback,
+            "deduped": self.deduped,
             "error": self.error,
         }
 
@@ -141,6 +146,35 @@ def _run_query(optimizer, index: int, query: QueryBlock | str) -> BatchResult:
     )
 
 
+def _dedup_plan(
+    catalog: Catalog, queries: list[QueryBlock | str]
+) -> tuple[list[tuple[int, QueryBlock | str]], dict[int, int]]:
+    """Split a batch into unique payloads and a clone → original map.
+
+    Queries sharing the exact canonical (TABLES, PREDS) key (the shared
+    :func:`repro.query.template.query_key` — table/predicate order never
+    matters) are provably the same optimization problem; only the first
+    of each class is optimized, the rest copy its result.  SQL text is
+    parsed once here so string and block spellings of one query dedup
+    together; the parsed block is what travels to the worker.
+    """
+    from repro.query.parser import parse_query
+
+    unique: list[tuple[int, QueryBlock | str]] = []
+    clones: dict[int, int] = {}
+    first_for_key: dict[PlanKey, int] = {}
+    for index, query in enumerate(queries):
+        block = parse_query(query, catalog) if isinstance(query, str) else query
+        key = query_key(block)
+        original = first_for_key.get(key)
+        if original is None:
+            first_for_key[key] = index
+            unique.append((index, block))
+        else:
+            clones[index] = original
+    return unique, clones
+
+
 def optimize_many(
     catalog: Catalog,
     queries: list[QueryBlock | str],
@@ -149,6 +183,7 @@ def optimize_many(
     weights: CostWeights | None = None,
     budget: OptimizerBudget | None = None,
     workers: int = 1,
+    dedup: bool = False,
 ) -> list[BatchResult]:
     """Optimize every query of ``queries``; results in input order.
 
@@ -157,20 +192,39 @@ def optimize_many(
     otherwise the batch runs inline.  Either way query *i*'s result is at
     position *i* and each optimization is fully isolated — memo, interner,
     plan table and budget state live and die with its engine.
+
+    ``dedup`` optimizes each exact (TABLES, PREDS) equivalence class once
+    and fans the result out to its duplicates (marked ``deduped``) — the
+    batch-side counterpart of the serving layer's plan-template cache.
     """
     spec = BatchSpec(
         catalog=catalog, rules=rules, config=config, weights=weights,
         budget=budget,
     )
-    payloads = list(enumerate(queries))
+    if dedup:
+        payloads, clones = _dedup_plan(catalog, queries)
+    else:
+        payloads, clones = list(enumerate(queries)), {}
     if workers <= 1 or len(payloads) <= 1:
         optimizer = _build_optimizer(spec)
-        return [_run_query(optimizer, i, q) for i, q in payloads]
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(payloads)),
-        initializer=_init_worker,
-        initargs=(spec,),
-    ) as pool:
-        # ``map`` preserves input order; chunksize 1 keeps long queries
-        # from serializing behind each other in one worker's chunk.
-        return list(pool.map(_optimize_one, payloads, chunksize=1))
+        results = [_run_query(optimizer, i, q) for i, q in payloads]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(payloads)),
+            initializer=_init_worker,
+            initargs=(spec,),
+        ) as pool:
+            # ``map`` preserves input order; chunksize 1 keeps long queries
+            # from serializing behind each other in one worker's chunk.
+            results = list(pool.map(_optimize_one, payloads, chunksize=1))
+    if not clones:
+        return results
+    by_index = {r.index: r for r in results}
+    for clone_index, original_index in clones.items():
+        by_index[clone_index] = replace(
+            by_index[original_index],
+            index=clone_index,
+            deduped=True,
+            elapsed_seconds=0.0,
+        )
+    return [by_index[i] for i in range(len(queries))]

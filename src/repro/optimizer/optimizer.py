@@ -240,6 +240,76 @@ class StarburstOptimizer:
             heuristic_fallback=heuristic_fallback,
         )
 
+    def optimize_heuristic(self, query: QueryBlock | str) -> OptimizationResult:
+        """The search-free greedy plan, packaged like an optimization.
+
+        Builds the engine context (rules validated, factory, cost model)
+        but references no STAR at all — the plan is
+        :func:`~repro.robust.fallback.heuristic_plan`'s greedy left-deep
+        chain over primary access paths.  This is the serving layer's
+        deepest *computed* degradation tier: O(tables² · predicates)
+        regardless of load, never charged against any budget.
+        """
+        if isinstance(query, str):
+            query = parse_query(query, self.catalog)
+        started = time.perf_counter()
+        result_site = query.result_site or self.catalog.query_site
+        avoided = frozenset(self.config.avoid_sites) | self.catalog.down_sites()
+        if result_site in avoided:
+            raise OptimizationError(
+                f"result site {result_site} is down or avoided; "
+                f"no plan can deliver the result"
+            )
+        model = CostModel(self.catalog, self.weights)
+        engine = StarEngine(
+            rules=self.rules,
+            catalog=self.catalog,
+            query=query,
+            registry=self.registry,
+            config=self.config,
+            model=model,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            feedback=self.feedback,
+        )
+        requirements = Requirements(
+            order=query.required_order() or None,
+            site=result_site,
+        )
+        tracer = engine.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "optimizer", "optimize_heuristic", query=str(query)
+            )
+        try:
+            plan = heuristic_plan(engine.ctx, query, requirements)
+        except OptimizationError:
+            if tracer is not None:
+                tracer.end(span, failed=True)
+            raise
+        alternatives = SAP([plan])
+        elapsed = time.perf_counter() - started
+        if tracer is not None:
+            tracer.end(
+                span, cost=round(model.total(plan.props.cost), 3)
+            )
+        if self.metrics is not None:
+            self.metrics.inc("optimizer.heuristic_plans")
+            self.metrics.observe("optimizer.elapsed_seconds", elapsed)
+        return OptimizationResult(
+            query=query,
+            best_plan=plan,
+            alternatives=alternatives,
+            stats=engine.stats,
+            plan_table_stats=engine.plan_table.stats,
+            pairs_considered=0,
+            elapsed_seconds=elapsed,
+            engine=engine,
+            budget_exhausted=False,
+            heuristic_fallback=True,
+        )
+
     def _anytime(
         self,
         engine: StarEngine,

@@ -1,12 +1,20 @@
 """The runtime cardinality feedback cache.
 
 Keys match the hashed plan table exactly — ``(frozenset of tables,
-frozenset of applied predicates)`` — so an observation recorded at a
-materialization point of one execution lines up with the equivalence
-class the next optimization builds for the same relational content.
-The selectivity estimator consults the cache through
+frozenset of applied predicates)``, built by the shared
+:func:`repro.query.template.canonical_key` — so an observation recorded
+at a materialization point of one execution lines up with the
+equivalence class the next optimization builds for the same relational
+content.  The selectivity estimator consults the cache through
 :meth:`Selectivity.adjusted_card <repro.cost.selectivity.Selectivity>`;
 a hit overrides the System-R estimate with the observed row count.
+
+The cache is **bounded**: a long-running server process records
+observations for every query it ever executes, and an unbounded dict is
+a slow memory leak.  ``capacity`` caps the entry count with
+least-recently-used eviction (recording and hitting both refresh
+recency); evictions are counted and exported as the
+``feedback.evictions`` metric.
 """
 
 from __future__ import annotations
@@ -14,22 +22,31 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.query.predicates import Predicate
-from repro.stars.plantable import PlanKey, plan_key
+from repro.query.template import PlanKey, canonical_key
+
+#: Default entry cap — generous for one process, finite for a server.
+DEFAULT_CAPACITY = 4096
 
 
 class FeedbackCache:
-    """Observed cardinalities keyed on (TABLES, PREDS).
+    """Observed cardinalities keyed on (TABLES, PREDS), LRU-bounded.
 
     ``tracer`` / ``metrics`` (both optional, None = zero overhead) record
     every hit and miss — the loop's observability contract matches the
-    plan table's.
+    plan table's.  ``capacity`` bounds the entry count (None = unbounded,
+    for short-lived tooling only).
     """
 
-    def __init__(self, tracer=None, metrics=None):
+    def __init__(self, tracer=None, metrics=None,
+                 capacity: int | None = DEFAULT_CAPACITY):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be at least 1 (or None), got {capacity}")
         self._observed: dict[PlanKey, float] = {}
+        self.capacity = capacity
         self.hits = 0
         self.misses = 0
         self.records = 0
+        self.evictions = 0
         self.tracer = tracer
         self.metrics = metrics
 
@@ -39,6 +56,11 @@ class FeedbackCache:
     def __bool__(self) -> bool:  # an empty cache is still a cache
         return True
 
+    def _touch(self, key: PlanKey, value: float) -> None:
+        """Refresh ``key``'s recency (dicts preserve insertion order)."""
+        del self._observed[key]
+        self._observed[key] = value
+
     def record(
         self,
         tables: Iterable[str],
@@ -46,7 +68,15 @@ class FeedbackCache:
         actual: float,
     ) -> None:
         """Store one observed cardinality (later observations win)."""
-        key = plan_key(tables, preds)
+        key = canonical_key(tables, preds)
+        if key in self._observed:
+            del self._observed[key]
+        elif self.capacity is not None and len(self._observed) >= self.capacity:
+            oldest = next(iter(self._observed))
+            del self._observed[oldest]
+            self.evictions += 1
+            if self.metrics is not None:
+                self.metrics.inc("feedback.evictions")
         self._observed[key] = float(actual)
         self.records += 1
         if self.metrics is not None:
@@ -63,16 +93,26 @@ class FeedbackCache:
         self, tables: Iterable[str], preds: Iterable[Predicate]
     ) -> float | None:
         """The observed cardinality for this equivalence class, or None."""
-        value = self._observed.get(plan_key(tables, preds))
+        key = canonical_key(tables, preds)
+        value = self._observed.get(key)
         if value is None:
             self.misses += 1
             if self.metrics is not None:
                 self.metrics.inc("feedback.misses")
             return None
+        self._touch(key, value)
         self.hits += 1
         if self.metrics is not None:
             self.metrics.inc("feedback.hits")
         return value
+
+    def peek(
+        self, tables: Iterable[str], preds: Iterable[Predicate]
+    ) -> float | None:
+        """Like :meth:`lookup` but without touching counters or recency —
+        for drift *checks* (the serving cache polls every request; a poll
+        must not read as estimator traffic or pin the entry hot)."""
+        return self._observed.get(canonical_key(tables, preds))
 
     def adjust(
         self,
@@ -85,7 +125,7 @@ class FeedbackCache:
         if observed is None:
             return estimated
         if self.tracer is not None:
-            key = plan_key(tables, preds)
+            key = canonical_key(tables, preds)
             self.tracer.instant(
                 "robust", "feedback_hit",
                 tables=",".join(sorted(key[0])),
@@ -99,9 +139,11 @@ class FeedbackCache:
         total = self.hits + self.misses
         return {
             "entries": float(len(self._observed)),
+            "capacity": float(self.capacity or 0),
             "records": float(self.records),
             "hits": float(self.hits),
             "misses": float(self.misses),
+            "evictions": float(self.evictions),
             "hit_rate": self.hits / total if total else 0.0,
         }
 

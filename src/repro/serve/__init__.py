@@ -1,0 +1,82 @@
+"""Optimizer-as-a-service: plan-template cache + async serving layer.
+
+The serving layer (experiment E15) turns the optimizer into a bounded,
+overload-tolerant service:
+
+* :mod:`repro.serve.cache` — :class:`PlanTemplateCache`, one guarded
+  plan per canonical query template, with selectivity-band reuse guards
+  and a Q-error drift circuit breaker fed by the runtime feedback cache;
+* :mod:`repro.serve.service` — :class:`OptimizerService`, the asyncio
+  front end: bounded-queue admission control with explicit load
+  shedding, per-tenant optimizer budgets, deadline propagation, and the
+  graceful degradation ladder (cached → full → anytime → heuristic →
+  stale), every response labeled with its tier;
+* :mod:`repro.serve.loadgen` — deterministic skewed load generation and
+  the warmup/steady/overload phase driver behind ``repro loadgen``.
+"""
+
+from repro.serve.cache import (
+    PlanTemplateCache,
+    TemplateCacheStats,
+    TemplateEntry,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    LoadSpec,
+    Phase,
+    PhaseReport,
+    Template,
+    build_templates,
+    default_phases,
+    drive,
+    generate,
+    run_load,
+)
+from repro.serve.service import (
+    ALL_TIERS,
+    PLAN_TIERS,
+    TIER_ANYTIME,
+    TIER_CACHED,
+    TIER_ERROR,
+    TIER_FULL,
+    TIER_HEURISTIC,
+    TIER_REJECTED,
+    TIER_STALE,
+    OptimizerService,
+    Request,
+    Response,
+    ServiceConfig,
+    ServiceReport,
+    percentile,
+)
+
+__all__ = [
+    "PlanTemplateCache",
+    "TemplateCacheStats",
+    "TemplateEntry",
+    "OptimizerService",
+    "ServiceConfig",
+    "ServiceReport",
+    "Request",
+    "Response",
+    "percentile",
+    "ALL_TIERS",
+    "PLAN_TIERS",
+    "TIER_CACHED",
+    "TIER_FULL",
+    "TIER_ANYTIME",
+    "TIER_HEURISTIC",
+    "TIER_STALE",
+    "TIER_REJECTED",
+    "TIER_ERROR",
+    "LoadSpec",
+    "Template",
+    "Phase",
+    "PhaseReport",
+    "LoadReport",
+    "build_templates",
+    "generate",
+    "default_phases",
+    "run_load",
+    "drive",
+]

@@ -1,0 +1,520 @@
+"""The asyncio optimizer service: admit, degrade, never die.
+
+:class:`OptimizerService` is the front end that turns the single-process
+optimizer into something that survives heavy traffic.  Every request
+takes one of these paths, and every response is labeled with the path
+that produced it:
+
+1. **cached** — the plan-template cache holds a fresh, in-band,
+   non-drifted plan for the query's template (the common case for
+   repeated parameterized shapes; no optimization at all);
+2. **full** — a complete optimization under the tenant's (by default
+   unlimited) budget;
+3. **anytime** — a deadline-capped optimization; the budget's
+   ``deadline_ticks`` carries the request deadline into the engine and
+   exhaustion yields the best partial-plan-table plan (PR 3 semantics —
+   it never raises);
+4. **heuristic** — the search-free greedy plan
+   (:meth:`~repro.optimizer.optimizer.StarburstOptimizer.optimize_heuristic`),
+   O(tables²·predicates) whatever the load;
+5. **stale** — a cached plan whose band or drift guard failed, served
+   knowingly because shedding is worse;
+6. **rejected** — admission control: the bounded queue is full and the
+   request is shed with an explicit response, *before* queuing.
+
+Tiers 3–5 are chosen by current load (queue depth over
+``queue_limit``) and the request's remaining deadline.  Per-tenant
+:class:`~repro.robust.budget.OptimizerBudget` objects are created once
+and reused across requests — ``optimize`` resets their counters, and the
+budget-reuse tests pin down that exhaustion never leaks between
+requests.
+
+The service is single-loop asyncio: workers interleave with admission
+but optimizations themselves run inline, so behavior under a
+deterministic request schedule is reproducible — what the E15 overload
+gates rely on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.config import OptimizerConfig
+from repro.cost.model import CostWeights
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active_tracer
+from repro.optimizer.optimizer import StarburstOptimizer
+from repro.query.parser import parse_query
+from repro.query.query import QueryBlock
+from repro.robust.budget import OptimizerBudget
+from repro.robust.feedback import FeedbackCache
+from repro.serve.cache import PlanTemplateCache
+from repro.stars.ast import RuleSet
+
+TIER_CACHED = "cached"
+TIER_FULL = "full"
+TIER_ANYTIME = "anytime"
+TIER_HEURISTIC = "heuristic"
+TIER_STALE = "stale"
+TIER_REJECTED = "rejected"
+TIER_ERROR = "error"
+
+#: Tiers that deliver a plan, best first — the degradation ladder.
+PLAN_TIERS = (TIER_CACHED, TIER_FULL, TIER_ANYTIME, TIER_HEURISTIC, TIER_STALE)
+ALL_TIERS = PLAN_TIERS + (TIER_REJECTED, TIER_ERROR)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving layer (the optimizer keeps its own config)."""
+
+    #: Concurrent worker coroutines draining the queue.
+    workers: int = 2
+    #: Admission-control bound: requests beyond this many queued are shed.
+    queue_limit: int = 16
+    #: Plan-template cache entries (0 disables caching).
+    cache_capacity: int = 256
+    #: Selectivity-band guard factor for cached-plan reuse.
+    band_factor: float = 4.0
+    #: Q-error beyond which a feedback observation counts as drift.
+    drift_threshold: float = 10.0
+    #: Consecutive drift failures that trip an entry's circuit breaker.
+    breaker_threshold: int = 3
+    #: Bound on the shared feedback cache (it serves every tenant).
+    feedback_capacity: int = 1024
+    #: Full-tier budget limits (None = unlimited).
+    full_expansions: int | None = None
+    full_plans: int | None = None
+    #: Logical-tick deadline imposed on anytime-tier optimizations.
+    anytime_ticks: int = 2000
+    #: Load thresholds (fractions of ``queue_limit``) for degradation.
+    anytime_load: float = 0.5
+    heuristic_load: float = 0.75
+    stale_load: float = 0.9
+    #: Request deadlines at or below these ticks force the tier.
+    anytime_deadline: int = 2000
+    heuristic_deadline: int = 200
+    #: Serve tripped/banded-out cached plans under extreme load.
+    allow_stale: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One optimization request."""
+
+    query: QueryBlock | str
+    tenant: str = "default"
+    #: Remaining logical-tick deadline (None = no deadline).  Propagated
+    #: into the optimizer budget's ``deadline_ticks``.
+    deadline_ticks: int | None = None
+    #: Optional label (the load generator tags its template) — reporting
+    #: only, never part of any cache key.
+    template: str | None = None
+
+
+@dataclass
+class Response:
+    """What the service answered — always one of these, never a crash."""
+
+    ok: bool
+    tier: str
+    tenant: str = "default"
+    rejected: bool = False
+    plan_digest: str = ""
+    best_cost: float = 0.0
+    cache_hit: bool = False
+    budget_exhausted: bool = False
+    #: Queue depth observed at admission time.
+    queue_depth: int = 0
+    #: Admission → completion wall time.
+    elapsed_seconds: float = 0.0
+    template: str | None = None
+    error: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.tier in (TIER_ANYTIME, TIER_HEURISTIC, TIER_STALE)
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate view of everything the service did so far."""
+
+    requests: int = 0
+    rejections: int = 0
+    errors: int = 0
+    tiers: dict[str, int] = field(default_factory=dict)
+    max_queue_depth: int = 0
+    latency_p50: float = 0.0
+    latency_p99: float = 0.0
+    latency_mean: float = 0.0
+    cache: dict[str, float] = field(default_factory=dict)
+    feedback: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "rejections": self.rejections,
+            "errors": self.errors,
+            "tiers": dict(self.tiers),
+            "max_queue_depth": self.max_queue_depth,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "latency_mean": self.latency_mean,
+            "cache": dict(self.cache),
+            "feedback": dict(self.feedback),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"served {self.requests} request(s): "
+            f"{self.rejections} rejected, {self.errors} error(s)",
+            "  tiers: "
+            + ", ".join(
+                f"{tier}={self.tiers.get(tier, 0)}"
+                for tier in ALL_TIERS
+                if self.tiers.get(tier, 0)
+            ),
+            f"  max queue depth: {self.max_queue_depth}",
+            f"  latency p50/p99/mean: {self.latency_p50 * 1e3:.2f} / "
+            f"{self.latency_p99 * 1e3:.2f} / {self.latency_mean * 1e3:.2f} ms",
+            f"  cache: {self.cache.get('hits', 0):.0f}/"
+            f"{self.cache.get('lookups', 0):.0f} hits "
+            f"(rate {self.cache.get('hit_rate', 0.0):.2f}), "
+            f"{self.cache.get('band_misses', 0):.0f} band miss(es), "
+            f"{self.cache.get('breaker_trips', 0):.0f} breaker trip(s), "
+            f"{self.cache.get('evictions', 0):.0f} eviction(s)",
+        ]
+        return "\n".join(lines)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]); 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class OptimizerService:
+    """Asyncio serving front end over one :class:`StarburstOptimizer`.
+
+    Use as an async context manager, or call :meth:`serve_all` for a
+    synchronous drive (CLI, benchmarks)::
+
+        service = OptimizerService(catalog)
+        responses = service.serve_all([Request(sql) for sql in batch])
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        rules: RuleSet | None = None,
+        config: OptimizerConfig | None = None,
+        weights: CostWeights | None = None,
+        service: ServiceConfig | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        feedback: FeedbackCache | None = None,
+    ):
+        self.config = service if service is not None else ServiceConfig()
+        self.tracer = active_tracer(tracer)
+        self.metrics = metrics
+        if feedback is None:
+            feedback = FeedbackCache(
+                tracer=self.tracer, metrics=metrics,
+                capacity=self.config.feedback_capacity,
+            )
+        self.feedback = feedback
+        self.optimizer = StarburstOptimizer(
+            catalog, rules=rules, config=config, weights=weights,
+            tracer=tracer, metrics=metrics, feedback=feedback,
+        )
+        self.cache = PlanTemplateCache(
+            catalog,
+            capacity=self.config.cache_capacity,
+            band_factor=self.config.band_factor,
+            drift_threshold=self.config.drift_threshold,
+            breaker_threshold=self.config.breaker_threshold,
+            feedback=feedback,
+            tracer=self.tracer,
+            metrics=metrics,
+        )
+        self._budgets: dict[str, OptimizerBudget] = {}
+        self._queue: asyncio.Queue | None = None
+        self._workers: list[asyncio.Task] = []
+        self._latencies: list[float] = []
+        self._tiers: dict[str, int] = {}
+        self.requests = 0
+        self.rejections = 0
+        self.errors = 0
+        self.max_queue_depth = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spin up the worker pool (idempotent)."""
+        if self._workers:
+            return
+        self._queue = asyncio.Queue()
+        self._workers = [
+            asyncio.create_task(self._worker())
+            for _ in range(self.config.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Drain the queue, then stop every worker."""
+        if not self._workers:
+            return
+        for _ in self._workers:
+            self._queue.put_nowait(None)
+        await asyncio.gather(*self._workers)
+        self._workers = []
+        self._queue = None
+
+    async def __aenter__(self) -> "OptimizerService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit_nowait(self, request: Request) -> "asyncio.Future[Response]":
+        """Admit or shed ``request``; the returned future always resolves.
+
+        Shedding happens *here*, synchronously: when the queue already
+        holds ``queue_limit`` requests the future resolves immediately
+        with an explicit rejected response and nothing is enqueued — the
+        queue length is bounded by construction.
+        """
+        if self._queue is None:
+            raise RuntimeError("service is not started (use start()/serve_all)")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[Response] = loop.create_future()
+        self.requests += 1
+        if self.metrics is not None:
+            self.metrics.inc("serve.requests")
+        depth = self._queue.qsize()
+        if depth >= self.config.queue_limit:
+            self.rejections += 1
+            self._count_tier(TIER_REJECTED)
+            if self.metrics is not None:
+                self.metrics.inc("serve.rejected")
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "serve", "rejected", tenant=request.tenant, depth=depth
+                )
+            future.set_result(Response(
+                ok=False, tier=TIER_REJECTED, tenant=request.tenant,
+                rejected=True, queue_depth=depth, template=request.template,
+            ))
+            return future
+        self._queue.put_nowait((request, future, time.perf_counter(), depth))
+        self.max_queue_depth = max(self.max_queue_depth, self._queue.qsize())
+        if self.metrics is not None:
+            self.metrics.set_gauge("serve.queue_depth_max", self.max_queue_depth)
+        return future
+
+    async def request(self, request: Request) -> Response:
+        """Submit one request and await its response."""
+        return await self.submit_nowait(request)
+
+    def serve_all(
+        self, requests: list[Request], burst: int | None = None
+    ) -> list[Response]:
+        """Synchronous drive: submit in bursts, return responses in order.
+
+        ``burst`` requests are submitted back-to-back before any is
+        awaited (default: the queue limit) — bursts larger than the queue
+        limit exercise admission control.
+        """
+        wave = burst if burst is not None else self.config.queue_limit
+
+        async def _run() -> list[Response]:
+            async with self:
+                responses: list[Response] = []
+                for start in range(0, len(requests), wave):
+                    futures = [
+                        self.submit_nowait(r)
+                        for r in requests[start:start + wave]
+                    ]
+                    responses.extend(await asyncio.gather(*futures))
+                return responses
+
+        return asyncio.run(_run())
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> ServiceReport:
+        return ServiceReport(
+            requests=self.requests,
+            rejections=self.rejections,
+            errors=self.errors,
+            tiers=dict(self._tiers),
+            max_queue_depth=self.max_queue_depth,
+            latency_p50=percentile(self._latencies, 0.50),
+            latency_p99=percentile(self._latencies, 0.99),
+            latency_mean=(
+                sum(self._latencies) / len(self._latencies)
+                if self._latencies else 0.0
+            ),
+            cache=self.cache.stats.as_dict(),
+            feedback=self.feedback.as_dict(),
+        )
+
+    # -- the worker ----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            request, future, admitted, depth = item
+            try:
+                response = self._handle(request)
+            except Exception as exc:  # safety net: requests never die unhandled
+                self.errors += 1
+                if self.metrics is not None:
+                    self.metrics.inc("serve.errors")
+                response = Response(
+                    ok=False, tier=TIER_ERROR, tenant=request.tenant,
+                    template=request.template, error=str(exc),
+                )
+            response.queue_depth = depth
+            response.elapsed_seconds = time.perf_counter() - admitted
+            self._latencies.append(response.elapsed_seconds)
+            self._count_tier(response.tier)
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "serve.latency_seconds", response.elapsed_seconds
+                )
+            if not future.done():
+                future.set_result(response)
+            self._queue.task_done()
+
+    # -- request handling (synchronous; one event-loop thread) ---------------
+
+    def _handle(self, request: Request) -> Response:
+        query = request.query
+        if isinstance(query, str):
+            query = parse_query(query, self.optimizer.catalog)
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "serve", "request", tenant=request.tenant
+            )
+        tier = "?"
+        try:
+            response = self._plan(request, query)
+            tier = response.tier
+        finally:
+            if span is not None:
+                self.tracer.end(span, tier=tier)
+        return response
+
+    def _plan(self, request: Request, query: QueryBlock) -> Response:
+        entry = self.cache.lookup(query)
+        if entry is not None:
+            self._tier_metric(TIER_CACHED)
+            return Response(
+                ok=True, tier=TIER_CACHED, tenant=request.tenant,
+                plan_digest=entry.plan.digest, best_cost=entry.best_cost,
+                cache_hit=True, template=request.template,
+            )
+        tier = self._choose_tier(request)
+        if tier == TIER_STALE:
+            stale = self.cache.lookup_stale(query)
+            if stale is not None:
+                self._tier_metric(TIER_STALE)
+                return Response(
+                    ok=True, tier=TIER_STALE, tenant=request.tenant,
+                    plan_digest=stale.plan.digest, best_cost=stale.best_cost,
+                    cache_hit=True, template=request.template,
+                )
+            tier = TIER_HEURISTIC  # nothing cached to go stale on
+        if tier == TIER_HEURISTIC:
+            result = self.optimizer.optimize_heuristic(query)
+        else:
+            budget = self._tenant_budget(request, tier)
+            self.optimizer.budget = budget
+            try:
+                result = self.optimizer.optimize(query)
+            finally:
+                self.optimizer.budget = None
+            if result.budget_exhausted:
+                # The search was cut short — label the answer honestly,
+                # whatever tier admission picked.
+                tier = TIER_ANYTIME
+            if not result.heuristic_fallback:
+                self.cache.insert(
+                    query, result.best_plan, result.best_cost, tier=tier
+                )
+        self._tier_metric(tier)
+        return Response(
+            ok=True, tier=tier, tenant=request.tenant,
+            plan_digest=result.best_plan.digest, best_cost=result.best_cost,
+            budget_exhausted=result.budget_exhausted,
+            template=request.template,
+        )
+
+    def _choose_tier(self, request: Request) -> str:
+        cfg = self.config
+        load = self._queue.qsize() / cfg.queue_limit if self._queue else 0.0
+        deadline = request.deadline_ticks
+        if deadline is not None and deadline <= cfg.heuristic_deadline:
+            return TIER_HEURISTIC
+        if cfg.allow_stale and load >= cfg.stale_load:
+            return TIER_STALE
+        if load >= cfg.heuristic_load:
+            return TIER_HEURISTIC
+        if load >= cfg.anytime_load:
+            return TIER_ANYTIME
+        if deadline is not None and deadline <= cfg.anytime_deadline:
+            return TIER_ANYTIME
+        return TIER_FULL
+
+    def _tenant_budget(self, request: Request, tier: str) -> OptimizerBudget:
+        """The tenant's reusable budget, shaped for this request's tier.
+
+        One budget object per tenant, created on first use; ``optimize``
+        resets its counters, so exhaustion can never leak between
+        sequential requests (pinned by the budget-reuse tests).
+        """
+        budget = self._budgets.get(request.tenant)
+        if budget is None:
+            budget = self._budgets[request.tenant] = OptimizerBudget()
+        cfg = self.config
+        budget.max_expansions = cfg.full_expansions
+        budget.max_plans = cfg.full_plans
+        deadline = request.deadline_ticks
+        if tier == TIER_ANYTIME:
+            deadline = min(
+                d for d in (deadline, cfg.anytime_ticks) if d is not None
+            )
+        budget.deadline_ticks = deadline
+        return budget
+
+    def tenant_budget(self, tenant: str) -> OptimizerBudget | None:
+        """The tenant's budget object (None before its first budgeted
+        request) — exposed for tests and diagnostics."""
+        return self._budgets.get(tenant)
+
+    def _count_tier(self, tier: str) -> None:
+        self._tiers[tier] = self._tiers.get(tier, 0) + 1
+
+    def _tier_metric(self, tier: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(f"serve.tier.{tier}")

@@ -23,12 +23,14 @@ from repro.obs.metrics import stats_snapshot
 from repro.plans.plan import PlanNode
 from repro.plans.sap import SAP, merge_pruned
 from repro.query.predicates import Predicate
-
-PlanKey = tuple[frozenset[str], frozenset[Predicate]]
+from repro.query.template import PlanKey, canonical_key
 
 
 def plan_key(tables: Iterable[str], preds: Iterable[Predicate]) -> PlanKey:
-    return (frozenset(tables), frozenset(preds))
+    """The hashed plan table's key — the shared canonical key, so the
+    plan table, the feedback cache and the serving layer can never
+    diverge on what an equivalence class is."""
+    return canonical_key(tables, preds)
 
 
 @dataclass

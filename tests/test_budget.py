@@ -162,3 +162,77 @@ class TestAnytimeOptimization:
         snapshot = metrics.snapshot()
         assert snapshot["budget.exhaustions"] >= 1
         assert "budget.expansions" in snapshot
+
+
+class TestBudgetReuse:
+    """One budget object, many sequential requests — the serving layer's
+    per-tenant pattern.  Exhausted state must never leak forward."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return chain_workload(4, rows=60, seed=5)
+
+    def test_reset_clears_exhausted_state(self):
+        budget = OptimizerBudget(max_expansions=1)
+        budget.charge_expansion("a")
+        with pytest.raises(BudgetExhausted):
+            budget.charge_expansion("b")
+        assert budget.exhausted
+        budget.reset()
+        assert not budget.exhausted
+        assert budget.exhausted_reason is None
+        assert budget.expansions == 0
+        assert budget.plans == 0
+        assert budget.ticks == 0
+        budget.charge_expansion("c")  # limit intact, counters fresh
+
+    def test_exhaustion_never_leaks_between_sequential_requests(
+        self, workload
+    ):
+        """Starve request 1, then relax the limits on the *same* budget
+        object: request 2 must run a complete, unexhausted search."""
+        budget = OptimizerBudget(max_expansions=5)
+        optimizer = StarburstOptimizer(workload.catalog, budget=budget)
+        starved = optimizer.optimize(workload.query)
+        assert starved.budget_exhausted
+        budget.max_expansions = None
+        fresh = optimizer.optimize(workload.query)
+        assert not fresh.budget_exhausted
+        assert not fresh.heuristic_fallback
+        reference = StarburstOptimizer(workload.catalog).optimize(
+            workload.query
+        )
+        assert fresh.best_cost == pytest.approx(reference.best_cost)
+
+    def test_mutating_limits_between_requests(self, workload):
+        """The serving layer reshapes one budget per request (deadline
+        propagation): each request sees only its own limits."""
+        budget = OptimizerBudget()
+        optimizer = StarburstOptimizer(workload.catalog, budget=budget)
+        budget.deadline_ticks = 10
+        starved = optimizer.optimize(workload.query)
+        assert starved.budget_exhausted
+        budget.deadline_ticks = None
+        unbounded = optimizer.optimize(workload.query)
+        assert not unbounded.budget_exhausted
+        budget.deadline_ticks = 10
+        starved_again = optimizer.optimize(workload.query)
+        assert starved_again.budget_exhausted
+        assert starved_again.best_cost == pytest.approx(starved.best_cost)
+
+    def test_suspend_nesting_restores_outer_state(self):
+        budget = OptimizerBudget(max_expansions=1)
+        with budget.suspend():
+            with budget.suspend():
+                budget.charge_expansion("inner")
+            budget.charge_expansion("outer")  # still suspended
+        assert budget.expansions == 0
+        budget.charge_expansion("live")
+        assert budget.expansions == 1
+
+    def test_reset_inside_suspend_unsuspends(self):
+        budget = OptimizerBudget(max_expansions=2)
+        with budget.suspend():
+            budget.reset()
+            budget.charge_expansion("after-reset")
+        assert budget.expansions == 1

@@ -112,3 +112,65 @@ class TestOptimizerIntegration:
             baseline.best_plan.props.card
         )
         assert corrected.best_cost == pytest.approx(baseline.best_cost)
+
+
+class TestBoundedCapacity:
+    """The cache is LRU-bounded: a long-running server must not leak."""
+
+    def test_capacity_evicts_oldest(self):
+        cache = FeedbackCache(capacity=2)
+        cache.record({"A"}, [], 1.0)
+        cache.record({"B"}, [], 2.0)
+        cache.record({"C"}, [], 3.0)  # evicts A
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.lookup({"A"}, []) is None
+        assert cache.lookup({"B"}, []) == 2.0
+        assert cache.lookup({"C"}, []) == 3.0
+
+    def test_lookup_refreshes_recency(self):
+        cache = FeedbackCache(capacity=2)
+        cache.record({"A"}, [], 1.0)
+        cache.record({"B"}, [], 2.0)
+        assert cache.lookup({"A"}, []) == 1.0  # A becomes most recent
+        cache.record({"C"}, [], 3.0)  # evicts B, not A
+        assert cache.lookup({"A"}, []) == 1.0
+        assert cache.lookup({"B"}, []) is None
+
+    def test_rerecord_updates_without_eviction(self):
+        cache = FeedbackCache(capacity=2)
+        cache.record({"A"}, [], 1.0)
+        cache.record({"B"}, [], 2.0)
+        cache.record({"A"}, [], 9.0)
+        assert cache.evictions == 0
+        assert cache.lookup({"A"}, []) == 9.0
+
+    def test_eviction_metric_exported(self):
+        metrics = MetricsRegistry()
+        cache = FeedbackCache(metrics=metrics, capacity=1)
+        cache.record({"A"}, [], 1.0)
+        cache.record({"B"}, [], 2.0)
+        assert metrics.snapshot()["feedback.evictions"] == 1
+        assert cache.as_dict()["evictions"] == 1.0
+        assert cache.as_dict()["capacity"] == 1.0
+
+    def test_unbounded_when_capacity_none(self):
+        cache = FeedbackCache(capacity=None)
+        for i in range(5000):
+            cache.record({f"T{i}"}, [], float(i))
+        assert len(cache) == 5000
+        assert cache.evictions == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FeedbackCache(capacity=0)
+
+    def test_peek_counts_nothing_and_keeps_recency(self):
+        cache = FeedbackCache(capacity=2)
+        cache.record({"A"}, [], 1.0)
+        cache.record({"B"}, [], 2.0)
+        assert cache.peek({"A"}, []) == 1.0
+        assert cache.hits == 0 and cache.misses == 0
+        cache.record({"C"}, [], 3.0)  # peek did NOT refresh A: A evicted
+        assert cache.peek({"A"}, []) is None
+        assert cache.misses == 0

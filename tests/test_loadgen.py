@@ -1,0 +1,153 @@
+"""The deterministic load generator and its phase driver, plus the
+``serve``/``loadgen`` CLI subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.serve import (
+    LoadSpec,
+    OptimizerService,
+    ServiceConfig,
+    build_templates,
+    default_phases,
+    drive,
+    generate,
+)
+
+
+class TestGenerate:
+    def test_same_seed_same_stream(self):
+        spec = LoadSpec(seed=11)
+        _, a = generate(spec, 30)
+        _, b = generate(spec, 30)
+        assert [(r.query, r.tenant, r.deadline_ticks) for r in a] == [
+            (r.query, r.tenant, r.deadline_ticks) for r in b
+        ]
+
+    def test_different_seed_different_stream(self):
+        _, a = generate(LoadSpec(seed=1), 30)
+        _, b = generate(LoadSpec(seed=2), 30)
+        assert [r.query for r in a] != [r.query for r in b]
+
+    def test_requests_parse_against_the_workload(self):
+        from repro.query.parser import parse_query
+
+        workload, requests = generate(LoadSpec(), 20)
+        for request in requests:
+            parse_query(request.query, workload.catalog)
+
+    def test_zipf_mix_is_skewed(self):
+        _, requests = generate(LoadSpec(zipf_s=1.5, templates=6), 120)
+        counts: dict[str, int] = {}
+        for r in requests:
+            name = (r.template or "").rstrip("!")
+            counts[name] = counts.get(name, 0) + 1
+        assert counts["T0"] > counts.get("T5", 0)
+
+    def test_tenants_round_robin(self):
+        _, requests = generate(LoadSpec(tenants=3), 9)
+        assert [r.tenant for r in requests[:4]] == [
+            "tenant0", "tenant1", "tenant2", "tenant0"
+        ]
+
+    def test_wild_requests_marked(self):
+        _, requests = generate(LoadSpec(wild_fraction=1.0), 10)
+        assert all(r.template.endswith("!") for r in requests)
+
+    def test_template_pool_size(self):
+        assert len(build_templates(LoadSpec(templates=4))) == 4
+        assert len(build_templates(LoadSpec(templates=9))) == 9
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            LoadSpec(templates=0)
+        with pytest.raises(ValueError):
+            LoadSpec(n_tables=1)
+        with pytest.raises(ValueError):
+            LoadSpec(wild_fraction=1.5)
+
+
+class TestPhases:
+    def test_default_phases_cover_every_request(self):
+        _, requests = generate(LoadSpec(), 50)
+        phases = default_phases(requests, queue_limit=8)
+        assert [p.name for p in phases] == ["warmup", "steady", "overload"]
+        assert sum(len(p.requests) for p in phases) == len(requests)
+        assert phases[-1].burst > 8  # overload bursts past the queue
+
+    def test_drive_accounts_for_every_request(self):
+        workload, requests = generate(LoadSpec(), 36)
+        service = OptimizerService(
+            workload.catalog,
+            service=ServiceConfig(workers=2, queue_limit=4),
+        )
+        report = drive(service, default_phases(requests, 4))
+        assert report.unhandled == 0
+        total = sum(p.submitted for p in report.phases)
+        assert total == 36
+        assert len(report.responses) == 36
+        for phase in report.phases:
+            assert phase.admitted + phase.rejected + phase.unhandled == (
+                phase.submitted
+            )
+        overload = report.phase("overload")
+        assert overload.rejected > 0
+
+    def test_report_shapes(self):
+        workload, requests = generate(LoadSpec(), 12)
+        service = OptimizerService(
+            workload.catalog,
+            service=ServiceConfig(workers=1, queue_limit=4),
+        )
+        report = drive(service, default_phases(requests, 4))
+        payload = report.as_dict()
+        assert {p["name"] for p in payload["phases"]} == {
+            "warmup", "steady", "overload"
+        }
+        assert "phase warmup:" in report.summary()
+        with pytest.raises(KeyError):
+            report.phase("nope")
+
+
+class TestServeCLI:
+    def test_serve_repeats_show_cache_hits(self, capsys):
+        assert main(["serve", "--workload", "chain:3", "--repeat", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+        assert "tiers:" in out
+
+    def test_serve_explicit_sql_and_json(self, tmp_path, capsys):
+        out_file = tmp_path / "serve.json"
+        assert main([
+            "serve", "SELECT R0.ID FROM R0 WHERE R0.VAL < 9",
+            "--workload", "chain:3", "--repeat", "2",
+            "--json", str(out_file),
+        ]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["requests"] == 2
+        assert payload["tiers"].get("cached", 0) >= 1
+
+    def test_loadgen_runs_phases(self, capsys):
+        assert main([
+            "loadgen", "--requests", "24", "--queue-limit", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phase warmup:" in out
+        assert "phase overload:" in out
+        assert "0 unhandled" in out
+
+    def test_loadgen_json_report(self, tmp_path, capsys):
+        out_file = tmp_path / "load.json"
+        assert main([
+            "loadgen", "--requests", "20", "--queue-limit", "4",
+            "--json", str(out_file),
+        ]) == 0
+        payload = json.loads(out_file.read_text())
+        assert {p["name"] for p in payload["load"]["phases"]} == {
+            "warmup", "steady", "overload"
+        }
+        assert payload["service"]["requests"] == 20

@@ -1,0 +1,223 @@
+"""The asyncio serving front end: admission, tiers, tenants, deadlines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import (
+    OptimizerService,
+    Request,
+    ServiceConfig,
+    TIER_ANYTIME,
+    TIER_CACHED,
+    TIER_FULL,
+    TIER_HEURISTIC,
+    TIER_REJECTED,
+)
+from repro.workloads import chain_workload
+
+SQL = "SELECT R0.ID, R2.ID FROM R0, R1, R2 WHERE R0.ID = R1.FK AND R1.ID = R2.FK"
+SQL_B = "SELECT R0.ID FROM R0, R1 WHERE R0.ID = R1.FK AND R0.VAL < 20"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return chain_workload(3, rows=40)
+
+
+def _service(workload, **overrides) -> OptimizerService:
+    defaults = dict(workers=2, queue_limit=8)
+    defaults.update(overrides)
+    return OptimizerService(
+        workload.catalog, service=ServiceConfig(**defaults)
+    )
+
+
+class TestBasicServing:
+    def test_single_request_full_tier(self, workload):
+        service = _service(workload)
+        [response] = service.serve_all([Request(SQL)])
+        assert response.ok
+        assert response.tier == TIER_FULL
+        assert response.plan_digest
+        assert response.best_cost > 0
+        assert not response.degraded
+
+    def test_repeat_requests_hit_the_cache(self, workload):
+        service = _service(workload)
+        responses = service.serve_all([Request(SQL)] * 4, burst=1)
+        assert [r.tier for r in responses] == [
+            TIER_FULL, TIER_CACHED, TIER_CACHED, TIER_CACHED
+        ]
+        assert all(r.ok for r in responses)
+        assert responses[1].cache_hit
+        # Cached responses carry the optimized plan's digest and cost.
+        assert responses[1].plan_digest == responses[0].plan_digest
+        assert responses[1].best_cost == pytest.approx(responses[0].best_cost)
+
+    def test_cache_disabled_always_optimizes(self, workload):
+        service = _service(workload, cache_capacity=0)
+        responses = service.serve_all([Request(SQL)] * 3, burst=1)
+        assert all(r.tier == TIER_FULL for r in responses)
+
+    def test_matches_direct_optimizer(self, workload):
+        from repro.optimizer import StarburstOptimizer
+
+        direct = StarburstOptimizer(workload.catalog).optimize(SQL)
+        service = _service(workload)
+        [response] = service.serve_all([Request(SQL)])
+        assert response.plan_digest == direct.best_plan.digest
+        assert response.best_cost == pytest.approx(direct.best_cost)
+
+
+class TestAdmissionControl:
+    def test_burst_beyond_queue_limit_is_shed(self, workload):
+        service = _service(workload, queue_limit=2)
+        responses = service.serve_all([Request(SQL)] * 6, burst=6)
+        rejected = [r for r in responses if r.rejected]
+        served = [r for r in responses if r.ok]
+        assert len(rejected) == 4  # deterministic: queue holds exactly 2
+        assert len(served) == 2
+        assert all(r.tier == TIER_REJECTED for r in rejected)
+        assert service.max_queue_depth <= 2
+
+    def test_every_request_resolves(self, workload):
+        service = _service(workload, queue_limit=3)
+        responses = service.serve_all(
+            [Request(SQL), Request(SQL_B)] * 5, burst=10
+        )
+        assert len(responses) == 10
+        for r in responses:
+            assert r.ok or r.rejected or r.tier == "error"
+        assert not any(r.tier == "error" for r in responses)
+
+    def test_rejections_counted_and_metered(self, workload):
+        metrics = MetricsRegistry()
+        service = OptimizerService(
+            workload.catalog,
+            service=ServiceConfig(workers=1, queue_limit=1),
+            metrics=metrics,
+        )
+        service.serve_all([Request(SQL)] * 4, burst=4)
+        report = service.report()
+        assert report.rejections == 3
+        assert metrics.snapshot()["serve.rejected"] == 3
+
+
+class TestDegradationTiers:
+    def test_tight_deadline_forces_heuristic(self, workload):
+        service = _service(workload)
+        [response] = service.serve_all([Request(SQL, deadline_ticks=10)])
+        assert response.ok
+        assert response.tier == TIER_HEURISTIC
+        assert response.degraded
+        assert response.plan_digest
+
+    def test_moderate_deadline_forces_anytime(self, workload):
+        service = _service(workload)
+        [response] = service.serve_all([Request(SQL, deadline_ticks=1500)])
+        assert response.ok
+        assert response.tier in (TIER_ANYTIME, TIER_FULL)
+        # The tier label is anytime even when the budget happened to
+        # suffice — admission picked the capped path.
+        assert response.tier == TIER_ANYTIME or not response.budget_exhausted
+
+    def test_heuristic_tier_is_a_runnable_plan(self, workload):
+        from repro.executor import QueryExecutor, naive_evaluate
+        from repro.query.parser import parse_query
+
+        service = _service(workload)
+        [response] = service.serve_all([Request(SQL, deadline_ticks=10)])
+        query = parse_query(SQL, workload.catalog)
+        result = service.optimizer.optimize_heuristic(query)
+        assert result.best_plan.digest == response.plan_digest
+        rows = QueryExecutor(workload.database).run(query, result.best_plan)
+        assert rows.as_multiset() == naive_evaluate(
+            query, workload.database
+        ).as_multiset()
+
+    def test_load_shifts_tiers_under_pressure(self, workload):
+        """With a saturated queue the workers must degrade: nothing but
+        the first (empty-queue) request may be served full."""
+        service = _service(
+            workload, workers=1, queue_limit=8, cache_capacity=0,
+            anytime_load=0.25, heuristic_load=0.5, stale_load=2.0,
+        )
+        responses = service.serve_all([Request(SQL)] * 8, burst=8)
+        tiers = [r.tier for r in responses]
+        assert all(r.ok for r in responses)
+        assert any(t in (TIER_ANYTIME, TIER_HEURISTIC) for t in tiers)
+
+    def test_report_labels_every_tier(self, workload):
+        service = _service(workload, queue_limit=2)
+        service.serve_all(
+            [Request(SQL), Request(SQL, deadline_ticks=10)] * 3, burst=6
+        )
+        report = service.report()
+        assert report.requests == 6
+        assert sum(report.tiers.values()) == 6
+        assert "tiers:" in report.summary()
+
+
+class TestTenantBudgets:
+    def test_budgets_are_per_tenant_and_reused(self, workload):
+        service = _service(workload)
+        service.serve_all([
+            Request(SQL, tenant="a", deadline_ticks=1500),
+            Request(SQL_B, tenant="b", deadline_ticks=1500),
+        ], burst=1)
+        budget_a = service.tenant_budget("a")
+        budget_b = service.tenant_budget("b")
+        assert budget_a is not None and budget_b is not None
+        assert budget_a is not budget_b
+        before = service.tenant_budget("a")
+        service.serve_all([Request(SQL, tenant="a", deadline_ticks=1500)])
+        assert service.tenant_budget("a") is before
+
+    def test_exhaustion_never_leaks_between_requests(self, workload):
+        """A request that exhausts its tenant's budget must not poison
+        the next request on the same (reused) budget object."""
+        service = _service(workload, anytime_ticks=30)
+        [starved] = service.serve_all([Request(SQL, deadline_ticks=1500)])
+        assert starved.ok
+        assert starved.budget_exhausted
+        assert starved.tier == TIER_ANYTIME
+        # Same tenant, no deadline: the full search must run unimpeded.
+        service.cache = type(service.cache)(workload.catalog, capacity=0)
+        [fresh] = service.serve_all([Request(SQL)])
+        assert fresh.ok
+        assert fresh.tier == TIER_FULL
+        assert not fresh.budget_exhausted
+
+    def test_unbudgeted_full_tier_has_no_budget(self, workload):
+        service = _service(workload)
+        service.serve_all([Request(SQL, tenant="t")])
+        budget = service.tenant_budget("t")
+        assert budget is not None
+        assert budget.deadline_ticks is None
+        assert service.optimizer.budget is None  # always detached after
+
+
+class TestErrorHandling:
+    def test_invalid_query_yields_error_response(self, workload):
+        service = _service(workload)
+        [response] = service.serve_all([Request("SELECT 1 FROM NOPE")])
+        assert not response.ok
+        assert response.tier == "error"
+        assert response.error
+        report = service.report()
+        assert report.errors == 1
+
+    def test_error_does_not_poison_subsequent_requests(self, workload):
+        service = _service(workload)
+        responses = service.serve_all(
+            [Request("SELECT 1 FROM NOPE"), Request(SQL)], burst=1
+        )
+        assert responses[0].tier == "error"
+        assert responses[1].ok
+
+    def test_submit_before_start_raises(self, workload):
+        service = _service(workload)
+        with pytest.raises(RuntimeError):
+            service.submit_nowait(Request(SQL))
