@@ -29,6 +29,17 @@ Subcommands:
 * ``loadgen`` — generate a deterministic skewed request stream and drive
   the service through warmup/steady/overload phases (experiment E15's
   CLI face).
+* ``metrics`` — run a query (or ``--serve N`` requests through the
+  service) and emit the metrics registry as OpenMetrics text — the
+  scrape format behind the ``/metrics`` endpoint.
+* ``dash`` — the loadgen run as a live terminal dashboard: tier mix,
+  queue depth, cache hit rate, latency quantiles and SLO burn repainted
+  after every burst (``--metrics-port`` additionally serves
+  ``/metrics`` while it runs).
+
+``serve``, ``loadgen`` and ``dash`` share the telemetry flags
+(``--sample``, ``--flight-size``, ``--flight-out``, ``--slo-latency``,
+``--metrics-port``, ``--no-telemetry``) — experiment E16's CLI face.
 """
 
 from __future__ import annotations
@@ -479,6 +490,58 @@ def _service_config(args: argparse.Namespace) -> "ServiceConfig":
     )
 
 
+def _telemetry_config(args: argparse.Namespace) -> "TelemetryConfig":
+    from repro.obs import SLObjective, TelemetryConfig
+
+    if args.no_telemetry:
+        return TelemetryConfig.disabled()
+    slos = ()
+    if args.slo_latency is not None:
+        slos = (SLObjective.latency(
+            "latency", args.slo_latency, target=args.slo_target,
+        ),)
+    return TelemetryConfig(
+        sample_every=args.sample,
+        flight_capacity=args.flight_size,
+        flight_path=args.flight_out,
+        slos=slos,
+    )
+
+
+def _start_metrics_server(args: argparse.Namespace, registry, health=None):
+    """Start the /metrics endpoint when --metrics-port was given."""
+    if args.metrics_port is None:
+        return None
+    from repro.serve import MetricsServer
+
+    server = MetricsServer(
+        registry, port=args.metrics_port, health=health
+    ).start()
+    print(f"metrics endpoint: {server.url}/metrics  "
+          f"(health: {server.url}/healthz)")
+    return server
+
+
+def _report_flight(service) -> None:
+    if service.last_flight_dump is None:
+        return
+    dumps = service.flight.dumps if service.flight is not None else 0
+    where = (
+        f"appended to {service.telemetry.flight_path}"
+        if service.telemetry.flight_path else "held in memory"
+    )
+    print(f"flight recorder: {dumps} dump(s), last {where}")
+
+
+def _write_trace(args: argparse.Namespace, tracer) -> None:
+    if tracer is None:
+        return
+    with open(args.trace_out, "w") as handle:
+        handle.write(tracer.to_jsonl() + "\n")
+    print(f"JSONL event log ({len(tracer)} event(s), request-id stamped) "
+          f"written to {args.trace_out}")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run queries through the optimizer service and report tier labels,
     cache behavior, and admission-control outcomes."""
@@ -493,10 +556,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         for i in range(args.repeat)
         for q in queries
     ]
+    tracer = Tracer() if args.trace_out else None
     service = OptimizerService(
-        catalog, rules=_rule_set(args.rules), service=_service_config(args)
+        catalog, rules=_rule_set(args.rules), service=_service_config(args),
+        tracer=tracer, telemetry=_telemetry_config(args),
     )
-    responses = service.serve_all(requests, burst=args.burst)
+    server = _start_metrics_server(args, service.metrics)
+    try:
+        responses = service.serve_all(requests, burst=args.burst)
+    finally:
+        if server is not None:
+            server.stop()
+    _write_trace(args, tracer)
     for index, response in enumerate(responses):
         label = response.tier + (" (degraded)" if response.degraded else "")
         if response.rejected:
@@ -510,6 +581,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     report = service.report()
     print()
     print(report.summary())
+    _report_flight(service)
     if args.json:
         with open(args.json, "w") as handle:
             _json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
@@ -536,16 +608,25 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     workload, requests = generate(spec, args.requests)
+    tracer = Tracer() if args.trace_out else None
     service = OptimizerService(
         workload.catalog, rules=_rule_set(args.rules),
         service=_service_config(args),
+        tracer=tracer, telemetry=_telemetry_config(args),
     )
     phases = default_phases(requests, args.queue_limit)
-    report = drive(service, phases)
+    server = _start_metrics_server(args, service.metrics)
+    try:
+        report = drive(service, phases)
+    finally:
+        if server is not None:
+            server.stop()
+    _write_trace(args, tracer)
     print(report.summary())
     print()
     service_report = service.report()
     print(service_report.summary())
+    _report_flight(service)
     if args.json:
         payload = {
             "spec": {
@@ -564,6 +645,89 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     return 1 if service_report.errors else 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Emit a metrics registry as OpenMetrics text (the scrape format)."""
+    from repro.obs import render_openmetrics, validate_openmetrics
+
+    if args.serve:
+        from repro.serve import OptimizerService, Request
+
+        catalog, _database, default_query = _load_workload_full(args.workload)
+        sql = args.sql if args.sql is not None else default_query
+        service = OptimizerService(catalog, rules=_rule_set(args.rules))
+        service.serve_all([Request(sql)] * args.serve, burst=1)
+        registry = service.metrics
+    else:
+        database, tracer, registry, result = _traced_run(
+            args.sql, args.workload, args.rules
+        )
+        QueryExecutor(database, tracer=tracer, metrics=registry).run(
+            result.query, result.best_plan
+        )
+    text = render_openmetrics(registry)
+    try:
+        families = validate_openmetrics(text)
+    except ValueError as exc:
+        print(f"error: invalid OpenMetrics output: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"{len(families)} metric familie(s) written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    """The loadgen run as a live terminal dashboard."""
+    import asyncio as _asyncio
+
+    from repro.serve import (
+        Dashboard, LoadSpec, OptimizerService, default_phases, generate,
+        run_load,
+    )
+
+    spec = LoadSpec(
+        n_tables=args.tables,
+        rows=args.rows,
+        templates=args.templates,
+        zipf_s=args.skew,
+        param_jitter=args.jitter,
+        wild_fraction=args.wild,
+        tenants=args.tenants,
+        seed=args.seed,
+    )
+    workload, requests = generate(spec, args.requests)
+    tracer = Tracer() if args.trace_out else None
+    service = OptimizerService(
+        workload.catalog, rules=_rule_set(args.rules),
+        service=_service_config(args),
+        tracer=tracer, telemetry=_telemetry_config(args),
+    )
+    phases = default_phases(requests, args.queue_limit)
+    dashboard = Dashboard(
+        sys.stdout, repaint=not args.no_repaint, every=args.refresh
+    )
+    server = _start_metrics_server(args, service.metrics)
+    try:
+        report = _asyncio.run(
+            run_load(service, phases, progress=dashboard.update)
+        )
+    finally:
+        if server is not None:
+            server.stop()
+    _write_trace(args, tracer)
+    print()
+    print(service.report().summary())
+    _report_flight(service)
+    if report.unhandled:
+        print(f"error: {report.unhandled} unhandled request(s)",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -804,6 +968,60 @@ def main(argv: list[str] | None = None) -> int:
                        help="consecutive drift failures that trip an entry's "
                             "circuit breaker (default: 3)")
 
+    def _telemetry_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--sample", type=int, default=16,
+                       help="trace 1-in-N requests; 0 disables request "
+                            "tracing (default: 16)")
+        p.add_argument("--flight-size", type=int, default=64,
+                       help="flight-recorder ring size in requests; 0 "
+                            "disables the recorder (default: 64)")
+        p.add_argument("--flight-out", metavar="FILE",
+                       help="append flight-recorder dumps to FILE as JSONL")
+        p.add_argument("--slo-latency", type=float, default=None,
+                       metavar="SECONDS",
+                       help="latency SLO: this fraction of a second or "
+                            "faster for --slo-target of requests")
+        p.add_argument("--slo-target", type=float, default=0.99,
+                       help="good-fraction target of the latency SLO "
+                            "(default: 0.99)")
+        p.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve /metrics + /healthz on PORT while "
+                            "running (0 picks a free port)")
+        p.add_argument("--trace-out", metavar="FILE",
+                       help="write the request-stamped event log as JSON "
+                            "lines")
+        p.add_argument("--no-telemetry", action="store_true",
+                       help="disable request tracing, the flight recorder "
+                            "and SLO monitoring (the E16 baseline)")
+
+    def _loadgen_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--requests", type=int, default=60,
+                       help="total requests across all phases (default: 60)")
+        p.add_argument("--tables", type=int, default=4,
+                       help="chain-workload size templates are built over "
+                            "(default: 4)")
+        p.add_argument("--rows", type=int, default=200,
+                       help="rows per workload table (default: 200)")
+        p.add_argument("--templates", type=int, default=6,
+                       help="distinct query templates in the pool "
+                            "(default: 6)")
+        p.add_argument("--skew", type=float, default=1.2,
+                       help="Zipf exponent of the template mix; 0 = uniform "
+                            "(default: 1.2)")
+        p.add_argument("--jitter", type=int, default=3,
+                       help="max +/- jitter on a template's center constant "
+                            "(default: 3)")
+        p.add_argument("--wild", type=float, default=0.0,
+                       help="fraction of requests with out-of-band "
+                            "constants (default: 0)")
+        p.add_argument("--tenants", type=int, default=3,
+                       help="tenants, assigned round-robin (default: 3)")
+        p.add_argument("--seed", type=int, default=7,
+                       help="request-stream RNG seed (default: 7)")
+        p.add_argument("--rules", default="extended",
+                       help="base | extended | all")
+
     serve = sub.add_parser(
         "serve",
         help="run queries through the optimizer service (cache + "
@@ -827,6 +1045,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="requests submitted back-to-back before awaiting "
                             "(default: the queue limit)")
     _service_flags(serve)
+    _telemetry_flags(serve)
     serve.add_argument("--json", metavar="FILE",
                        help="write the service report as JSON")
     serve.set_defaults(fn=cmd_serve)
@@ -836,35 +1055,47 @@ def main(argv: list[str] | None = None) -> int:
         help="drive the service with a deterministic skewed request "
              "stream (warmup/steady/overload)",
     )
-    loadgen.add_argument("--requests", type=int, default=60,
-                         help="total requests across all phases (default: 60)")
-    loadgen.add_argument("--tables", type=int, default=4,
-                         help="chain-workload size templates are built over "
-                              "(default: 4)")
-    loadgen.add_argument("--rows", type=int, default=200,
-                         help="rows per workload table (default: 200)")
-    loadgen.add_argument("--templates", type=int, default=6,
-                         help="distinct query templates in the pool "
-                              "(default: 6)")
-    loadgen.add_argument("--skew", type=float, default=1.2,
-                         help="Zipf exponent of the template mix; 0 = uniform "
-                              "(default: 1.2)")
-    loadgen.add_argument("--jitter", type=int, default=3,
-                         help="max +/- jitter on a template's center constant "
-                              "(default: 3)")
-    loadgen.add_argument("--wild", type=float, default=0.0,
-                         help="fraction of requests with out-of-band "
-                              "constants (default: 0)")
-    loadgen.add_argument("--tenants", type=int, default=3,
-                         help="tenants, assigned round-robin (default: 3)")
-    loadgen.add_argument("--seed", type=int, default=7,
-                         help="request-stream RNG seed (default: 7)")
-    loadgen.add_argument("--rules", default="extended",
-                         help="base | extended | all")
+    _loadgen_flags(loadgen)
     _service_flags(loadgen)
+    _telemetry_flags(loadgen)
     loadgen.add_argument("--json", metavar="FILE",
                          help="write load + service reports as JSON")
     loadgen.set_defaults(fn=cmd_loadgen)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a query (or a short serve burst) and print the "
+             "registry as OpenMetrics text",
+    )
+    metrics.add_argument("sql", nargs="?",
+                         help="SELECT statement (default: the workload's "
+                              "own query)")
+    metrics.add_argument("--workload", default="paper",
+                         help="paper | paper-distributed | chain:N | star:N "
+                              "| clique:N (default: paper)")
+    metrics.add_argument("--rules", default="extended",
+                         help="base | extended | all")
+    metrics.add_argument("--serve", type=int, default=0, metavar="N",
+                         help="route N copies through the optimizer service "
+                              "and scrape its registry instead")
+    metrics.add_argument("--out", metavar="FILE",
+                         help="write the OpenMetrics text to FILE")
+    metrics.set_defaults(fn=cmd_metrics)
+
+    dash = sub.add_parser(
+        "dash",
+        help="loadgen with a live terminal dashboard (tier mix, queue, "
+             "latency quantiles, SLO burn)",
+    )
+    _loadgen_flags(dash)
+    _service_flags(dash)
+    _telemetry_flags(dash)
+    dash.add_argument("--refresh", type=int, default=1,
+                      help="repaint every Nth burst (default: 1)")
+    dash.add_argument("--no-repaint", action="store_true",
+                      help="append frames instead of repainting in place "
+                           "(log-friendly)")
+    dash.set_defaults(fn=cmd_dash)
 
     args = parser.parse_args(argv)
     try:

@@ -28,6 +28,7 @@ from repro.errors import CardinalityViolation, ExecutionError
 from repro.executor.chaos import ChaosEngine, RetryPolicy, SimClock
 from repro.executor.network import NetworkSim
 from repro.obs.metrics import stats_snapshot
+from repro.obs.telemetry import TraceContext
 from repro.obs.trace import Tracer, active_tracer
 from repro.plans.operators import (
     ACCESS,
@@ -257,8 +258,25 @@ class QueryExecutor:
         query: QueryBlock,
         plan: PlanNode,
         node_counts: dict[int, list[int]] | None = None,
+        context: "TraceContext | None" = None,
     ) -> ExecutionResult:
-        """Execute a plan and apply the query's projection and ORDER BY."""
+        """Execute a plan and apply the query's projection and ORDER BY.
+
+        ``context`` (a :class:`~repro.obs.telemetry.TraceContext`) stamps
+        the request id into every executor trace event, joining the
+        operator spans onto the serving layer's per-request span tree.
+        """
+        if context is not None and self.tracer is not None:
+            with self.tracer.context(**context.trace_args()):
+                return self._run(query, plan, node_counts)
+        return self._run(query, plan, node_counts)
+
+    def _run(
+        self,
+        query: QueryBlock,
+        plan: PlanNode,
+        node_counts: dict[int, list[int]] | None = None,
+    ) -> ExecutionResult:
         if self.executor == "vectorized":
             return self._run_vectorized(query, plan, node_counts)
         raw, stats = self.run_plan(plan, node_counts=node_counts)

@@ -29,12 +29,35 @@ from repro.obs.analyze import (
     explain_analyze,
     q_error,
 )
+from repro.obs.flight import (
+    FlightRecord,
+    FlightRecorder,
+    validate_flight_dump,
+)
 from repro.obs.metrics import (
+    BUCKET_BASE,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     stats_snapshot,
+)
+from repro.obs.openmetrics import (
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.slo import (
+    SLObjective,
+    SLOMonitor,
+)
+from repro.obs.telemetry import (
+    SpanNode,
+    TelemetryConfig,
+    TraceContext,
+    TraceSampler,
+    request_events,
+    span_tree,
+    validate_request_tree,
 )
 from repro.obs.trace import (
     CATEGORIES,
@@ -66,21 +89,36 @@ class Observability:
 
 __all__ = [
     "AnalyzeReport",
+    "BUCKET_BASE",
     "CATEGORIES",
     "Counter",
     "EVENT_SCHEMA",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
     "OperatorMeasure",
     "PHASES",
+    "SLObjective",
+    "SLOMonitor",
+    "SpanNode",
+    "TelemetryConfig",
+    "TraceContext",
     "TraceEvent",
+    "TraceSampler",
     "Tracer",
     "active_tracer",
     "explain_analyze",
     "q_error",
+    "render_openmetrics",
+    "request_events",
+    "span_tree",
     "stats_snapshot",
     "validate_events",
+    "validate_flight_dump",
     "validate_jsonl",
+    "validate_openmetrics",
+    "validate_request_tree",
 ]

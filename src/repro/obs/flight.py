@@ -1,0 +1,175 @@
+"""Flight recorder: a ring buffer of recent requests, dumped on incident.
+
+Aviation flight recorders don't log everything forever — they keep the
+last few minutes and surface them when something goes wrong.  This is
+the serving-layer analogue: :class:`FlightRecorder` keeps the last K
+:class:`FlightRecord` summaries (template key, tier, cache outcome, plan
+digest, cost, Q-error, latency, budget spent), and the service dumps the
+whole ring as JSONL the moment the drift circuit breaker trips, a
+deadline-bounded request exhausts its budget, or an SLO enters
+violation.  The dump is the incident artifact: the K requests *leading
+up to* the trip, not just the one that tripped it.
+
+Dumps are deterministic modulo wall-clock latency; ``normalize_time``
+zeroes the latency field so seeded runs produce byte-stable goldens
+(``tests/fixtures/flight_golden.jsonl``), pinning the record schema.
+:func:`validate_flight_dump` is the strict reader the E16 gate runs over
+a forced-trip dump.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Any, Iterable
+
+
+#: Cache outcomes a record may carry (``none`` = the request never
+#: consulted the template cache, e.g. it was rejected or errored early).
+CACHE_OUTCOMES = ("hit", "stale", "miss", "none")
+
+
+@dataclass(frozen=True)
+class FlightRecord:
+    """One request's summary, as kept in the flight-recorder ring."""
+
+    seq: int
+    request_id: str
+    tenant: str
+    template: str | None
+    tier: str
+    cache: str
+    plan_digest: str | None
+    cost: float | None
+    q_error: float | None
+    latency_seconds: float
+    budget_expansions: int
+    deadline_ticks: int | None
+    ok: bool
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.cache not in CACHE_OUTCOMES:
+            raise ValueError(
+                f"cache outcome must be one of {CACHE_OUTCOMES}, "
+                f"got {self.cache!r}"
+            )
+
+    def as_dict(self, normalize_time: bool = False) -> dict[str, Any]:
+        """The record as a JSON-ready dict; ``normalize_time`` zeroes the
+        latency so seeded dumps are byte-stable across machines."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        if normalize_time:
+            out["latency_seconds"] = 0.0
+        return out
+
+
+class FlightRecorder:
+    """Ring buffer of the last ``capacity`` request records."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[FlightRecord] = deque(maxlen=capacity)
+        self.dumps = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, record: FlightRecord) -> None:
+        self._ring.append(record)
+
+    def records(self) -> list[FlightRecord]:
+        """Oldest-to-newest snapshot of the ring."""
+        return list(self._ring)
+
+    def dump_text(self, reason: str, normalize_time: bool = False) -> str:
+        """The whole ring as JSONL: one header line naming the dump
+        reason, then one line per record, oldest first.
+
+        Keys are sorted so identical record streams serialize to
+        identical bytes — what the golden-fixture test pins.
+        """
+        self.dumps += 1
+        lines = [json.dumps(
+            {"type": "flight_dump", "reason": reason,
+             "records": len(self._ring)},
+            sort_keys=True,
+        )]
+        for record in self._ring:
+            lines.append(json.dumps(
+                record.as_dict(normalize_time=normalize_time),
+                sort_keys=True, allow_nan=False,
+            ))
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: str, reason: str,
+             normalize_time: bool = False) -> str:
+        """Append a dump to ``path`` (JSONL file); returns the text."""
+        text = self.dump_text(reason, normalize_time=normalize_time)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+        return text
+
+
+def validate_flight_dump(text: str) -> list[dict[str, Any]]:
+    """Parse and strictly validate one flight dump; returns the records.
+
+    Raises :class:`ValueError` on any structural problem: missing or
+    malformed header, record-count mismatch, missing or unknown record
+    fields, or a bad cache outcome.  This is the parser the E16
+    forced-trip gate runs.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty flight dump")
+    header = json.loads(lines[0])
+    if header.get("type") != "flight_dump":
+        raise ValueError(f"bad dump header: {lines[0]!r}")
+    if "reason" not in header or "records" not in header:
+        raise ValueError("dump header missing reason/records")
+    body = lines[1:]
+    if len(body) != header["records"]:
+        raise ValueError(
+            f"header promises {header['records']} records, "
+            f"found {len(body)}"
+        )
+    expected = {f.name for f in fields(FlightRecord)}
+    records: list[dict[str, Any]] = []
+    for i, line in enumerate(body):
+        raw = json.loads(line)
+        got = set(raw)
+        if got != expected:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            raise ValueError(
+                f"record {i}: missing fields {missing}, extra {extra}"
+            )
+        if raw["cache"] not in CACHE_OUTCOMES:
+            raise ValueError(f"record {i}: bad cache outcome {raw['cache']!r}")
+        records.append(raw)
+    return records
+
+
+def parse_dumps(text: str) -> Iterable[list[dict[str, Any]]]:
+    """Split a multi-dump JSONL file into individual validated dumps."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    start = 0
+    while start < len(lines):
+        header = json.loads(lines[start])
+        if header.get("type") != "flight_dump":
+            raise ValueError(f"expected dump header at line {start}")
+        end = start + 1 + int(header["records"])
+        yield validate_flight_dump("\n".join(lines[start:end]))
+        start = end
+
+
+__all__ = [
+    "CACHE_OUTCOMES",
+    "FlightRecord",
+    "FlightRecorder",
+    "parse_dumps",
+    "validate_flight_dump",
+]

@@ -11,7 +11,8 @@ serialization path: it flattens any stats dataclass into a
 reports and the metrics registry all share one schema.
 
 :class:`MetricsRegistry` is the accumulation side: named counters
-(monotonic), gauges (point-in-time) and histograms (count/sum/min/max),
+(monotonic), gauges (point-in-time) and histograms (count/sum/min/max
+plus fixed log-bucketed counts answering :meth:`Histogram.quantile`),
 snapshotable as one flat dict — the shape benchmark JSON and the CLI
 report.
 """
@@ -19,7 +20,8 @@ report.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Mapping
+import math
+from typing import Any, Iterator, Mapping
 
 
 class Counter:
@@ -47,16 +49,39 @@ class Gauge:
         self.value = value
 
 
-class Histogram:
-    """Streaming count/sum/min/max over observed values."""
+#: Log-bucket geometry: each bucket spans one power of ``BUCKET_BASE``
+#: (~19% relative width), so :meth:`Histogram.quantile` answers within
+#: one bucket of the exact rank statistic while memory stays bounded.
+BUCKET_BASE = 2.0 ** 0.25
+_LOG_BASE = math.log(BUCKET_BASE)
+#: Bucket indices are clamped to this range (covers roughly 1e-10 ..
+#: 1e10 at the base above), bounding the bucket dict whatever the stream.
+_BUCKET_MIN_INDEX = -128
+_BUCKET_MAX_INDEX = 128
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+
+class Histogram:
+    """Streaming count/sum/min/max plus fixed log-bucketed counts.
+
+    Positive observations land in bucket ``floor(log_base(value))``
+    (HDR-histogram style, sparse dict, index clamped so at most 258
+    buckets ever exist); non-positive values collect in one underflow
+    bucket.  :meth:`quantile` walks the cumulative counts and returns the
+    geometric midpoint of the target bucket clamped to the exact
+    ``[min, max]`` — within one bucket (≈±10%) of the exact percentile,
+    and exact for ``q=0``, ``q=1``, and single-sample streams.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_buckets",
+                 "_underflow")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self._buckets: dict[int, int] = {}
+        self._underflow = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -65,10 +90,63 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if value > 0.0:
+            index = math.floor(math.log(value) / _LOG_BASE)
+            if index < _BUCKET_MIN_INDEX:
+                index = _BUCKET_MIN_INDEX
+            elif index > _BUCKET_MAX_INDEX:
+                index = _BUCKET_MAX_INDEX
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+        else:
+            self._underflow += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def min_value(self) -> float:
+        """The observed minimum, JSON-safe: 0.0 when empty (never inf)."""
+        return self.minimum if self.count else 0.0
+
+    @property
+    def max_value(self) -> float:
+        """The observed maximum, JSON-safe: 0.0 when empty (never -inf)."""
+        return self.maximum if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The approximate ``q``-quantile (q clamped to [0, 1]).
+
+        0.0 for an empty histogram; exact min/max for ``q<=0`` /
+        ``q>=1``; otherwise the geometric midpoint of the bucket holding
+        the nearest-rank sample, clamped to the exact observed range.
+        """
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.minimum
+        if q >= 1.0:
+            return self.maximum
+        rank = q * (self.count - 1)
+        seen = self._underflow
+        if rank < seen:
+            # All underflow values are <= 0; min is the best single answer.
+            return min(self.minimum, 0.0)
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                low = BUCKET_BASE ** index
+                mid = low * math.sqrt(BUCKET_BASE)
+                return min(max(mid, self.minimum), self.maximum)
+        return self.maximum
+
+    def bucket_counts(self) -> Iterator[tuple[float, int]]:
+        """(upper bound, count) pairs in ascending bucket order, the
+        underflow bucket (values <= 0) first with bound 0.0."""
+        if self._underflow:
+            yield 0.0, self._underflow
+        for index in sorted(self._buckets):
+            yield BUCKET_BASE ** (index + 1), self._buckets[index]
 
 
 class MetricsRegistry:
@@ -77,8 +155,8 @@ class MetricsRegistry:
     Names are dotted paths (``optimizer.expansion.star_references``,
     ``executor.ship_retries``); the snapshot flattens histograms into
     ``name.count`` / ``name.sum`` / ``name.min`` / ``name.max`` /
-    ``name.mean`` keys so the whole registry serializes as one
-    ``{str: number}`` dict.
+    ``name.mean`` / ``name.p50`` / ``name.p99`` keys so the whole
+    registry serializes as one ``{str: number}`` dict.
     """
 
     def __init__(self) -> None:
@@ -125,10 +203,26 @@ class MetricsRegistry:
                 continue
             self.set_gauge(prefix + key, value)
 
+    # -- typed read access (the OpenMetrics renderer needs the kinds) -------
+
+    def counters(self) -> dict[str, Counter]:
+        return dict(self._counters)
+
+    def gauges(self) -> dict[str, Gauge]:
+        return dict(self._gauges)
+
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
     # -- snapshot -----------------------------------------------------------
 
     def snapshot(self) -> dict[str, float]:
-        """Every metric as one flat ``{name: number}`` dict."""
+        """Every metric as one flat ``{name: number}`` dict.
+
+        Always JSON-safe: empty histograms report ``min``/``max`` as 0.0
+        rather than leaking ``inf``/``-inf`` (which ``json.dumps`` would
+        render as the invalid-JSON token ``Infinity``).
+        """
         out: dict[str, float] = {}
         for name, counter in self._counters.items():
             out[name] = counter.value
@@ -137,9 +231,11 @@ class MetricsRegistry:
         for name, histogram in self._histograms.items():
             out[f"{name}.count"] = histogram.count
             out[f"{name}.sum"] = histogram.total
-            out[f"{name}.min"] = histogram.minimum if histogram.count else 0.0
-            out[f"{name}.max"] = histogram.maximum if histogram.count else 0.0
+            out[f"{name}.min"] = histogram.min_value
+            out[f"{name}.max"] = histogram.max_value
             out[f"{name}.mean"] = histogram.mean
+            out[f"{name}.p50"] = histogram.quantile(0.50)
+            out[f"{name}.p99"] = histogram.quantile(0.99)
         return dict(sorted(out.items()))
 
     def __len__(self) -> int:

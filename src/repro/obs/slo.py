@@ -1,0 +1,180 @@
+"""Service-level objectives with rolling error budgets and burn rates.
+
+An :class:`SLObjective` declares what fraction of requests must be
+*good* — fast enough (latency objective) or successful (error-rate
+objective) — and :class:`SLOMonitor` tracks each objective over a
+rolling window of responses.  The core quantity is the **burn rate**:
+
+    burn = bad_fraction / (1 - target)
+
+i.e. how fast the rolling window is spending its error budget.  Burn 1.0
+means the service is exactly on objective; burn 2.0 means it is failing
+twice as many requests as the objective allows.  The monitor publishes
+``slo.<name>.burn_rate`` / ``slo.<name>.budget_remaining`` gauges on
+every observation, and reports *transitions* into violation (burn > 1
+with enough samples) so the serving layer can react exactly once per
+incident — dumping the flight recorder and letting
+``_choose_tier`` degrade under measured pressure instead of guessing
+from queue depth alone.
+
+Everything is deterministic: windows are request-counted (no wall-clock
+decay), so identical response streams produce identical burn curves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declarative objective over a rolling window of requests.
+
+    With ``latency_threshold`` set, a request is good when it succeeded
+    *and* finished within the threshold; without it the objective judges
+    success alone (an error-rate objective).  ``target`` is the required
+    good fraction — the error budget is ``1 - target``.
+    """
+
+    name: str
+    target: float = 0.99
+    #: Seconds a request may take and still count as good (None = only
+    #: success is judged).
+    latency_threshold: float | None = None
+    #: Rolling window length, in requests.
+    window: int = 128
+    #: Violations are not reported before this many samples exist —
+    #: one bad request out of two is noise, not an incident.
+    min_samples: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("objective name must be non-empty")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.latency_threshold is not None and self.latency_threshold <= 0:
+            raise ValueError("latency_threshold must be positive")
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+
+    @classmethod
+    def latency(
+        cls, name: str, threshold: float, target: float = 0.99,
+        window: int = 128,
+    ) -> "SLObjective":
+        """p-``target`` latency objective: that fraction of requests must
+        finish within ``threshold`` seconds."""
+        return cls(name=name, target=target, latency_threshold=threshold,
+                   window=window)
+
+    @classmethod
+    def errors(
+        cls, name: str, target: float = 0.999, window: int = 128
+    ) -> "SLObjective":
+        """Error-rate objective: ``target`` fraction must succeed."""
+        return cls(name=name, target=target, window=window)
+
+    def good(self, latency_seconds: float, ok: bool) -> bool:
+        if not ok:
+            return False
+        if self.latency_threshold is not None:
+            return latency_seconds <= self.latency_threshold
+        return True
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+
+class SLOMonitor:
+    """Rolling-window burn-rate tracking over a set of objectives."""
+
+    def __init__(self, objectives, metrics=None):
+        self.objectives = tuple(objectives)
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.metrics = metrics
+        self._windows: dict[str, deque[bool]] = {
+            o.name: deque(maxlen=o.window) for o in self.objectives
+        }
+        self._violated: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self.objectives)
+
+    def observe(self, latency_seconds: float, ok: bool) -> list[str]:
+        """Fold one response in; returns objectives *newly* in violation.
+
+        Publishes the per-objective burn-rate and budget-remaining
+        gauges on every call, so a scrape between any two requests sees
+        current burn.
+        """
+        newly: list[str] = []
+        for objective in self.objectives:
+            window = self._windows[objective.name]
+            window.append(objective.good(latency_seconds, ok))
+            burn = self.burn_rate(objective.name)
+            if self.metrics is not None:
+                self.metrics.set_gauge(
+                    f"slo.{objective.name}.burn_rate", burn
+                )
+                self.metrics.set_gauge(
+                    f"slo.{objective.name}.budget_remaining",
+                    self.budget_remaining(objective.name),
+                )
+            violated = burn > 1.0 and len(window) >= objective.min_samples
+            if violated and objective.name not in self._violated:
+                self._violated.add(objective.name)
+                newly.append(objective.name)
+            elif not violated:
+                self._violated.discard(objective.name)
+        return newly
+
+    def burn_rate(self, name: str) -> float:
+        """Bad fraction over the window, relative to the error budget."""
+        objective = self._objective(name)
+        window = self._windows[name]
+        if not window:
+            return 0.0
+        bad = sum(1 for good in window if not good) / len(window)
+        return bad / objective.error_budget
+
+    def budget_remaining(self, name: str) -> float:
+        """Rolling error budget left, 1.0 (untouched) .. 0.0 (spent)."""
+        return max(0.0, 1.0 - self.burn_rate(name))
+
+    def max_burn(self) -> float:
+        """The hottest objective's burn rate (0.0 with no objectives)."""
+        if not self.objectives:
+            return 0.0
+        return max(self.burn_rate(o.name) for o in self.objectives)
+
+    def violated(self, name: str | None = None) -> bool:
+        if name is None:
+            return bool(self._violated)
+        return name in self._violated
+
+    def status(self) -> dict[str, dict[str, float]]:
+        """Per-objective burn/budget/sample-count snapshot (reporting)."""
+        return {
+            o.name: {
+                "burn_rate": self.burn_rate(o.name),
+                "budget_remaining": self.budget_remaining(o.name),
+                "samples": float(len(self._windows[o.name])),
+                "violated": float(self.violated(o.name)),
+            }
+            for o in self.objectives
+        }
+
+    def _objective(self, name: str) -> SLObjective:
+        for objective in self.objectives:
+            if objective.name == name:
+                return objective
+        raise KeyError(f"no objective named {name!r}")
+
+
+__all__ = ["SLObjective", "SLOMonitor"]

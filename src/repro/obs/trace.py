@@ -25,6 +25,11 @@ category     emitted by
 ``robust``   the adaptive loop — optimization budgets, cardinality
              checkpoints, feedback-cache records/hits and per-attempt
              spans of :class:`~repro.robust.adaptive.AdaptiveExecutor`
+``serve``    :class:`~repro.serve.service.OptimizerService` — one span
+             per handled request plus admission/tier/cache instants,
+             stamped with the request id (see :mod:`repro.obs.telemetry`)
+``telemetry``  the telemetry layer itself — flight-recorder dumps and
+             SLO state transitions
 ===========  ==============================================================
 
 Design constraints:
@@ -75,6 +80,8 @@ CATEGORIES = frozenset(
         "optimizer",
         "resilient",
         "robust",
+        "serve",
+        "telemetry",
     }
 )
 
@@ -182,6 +189,10 @@ class Tracer:
         self._stack: list[_Frame] = []
         self._seq = 0
         self._next_span = 0
+        #: Ambient args merged into every recorded event (see
+        #: :meth:`context`) — how request ids stitch spans across layers.
+        self._context: dict[str, Any] = {}
+        self._context_stack: list[dict[str, Any]] = []
         #: Events evicted from the ring buffer so far.
         self.dropped = 0
 
@@ -201,9 +212,12 @@ class Tracer:
         span_id = self._next_span
         self._next_span += 1
         parent = self._stack[-1].span_id if self._stack else None
+        cleaned = _clean_args(args)
+        if self._context:
+            cleaned = {**self._context, **cleaned}
         frame = _Frame(
             span_id, cat, name, self._now(), len(self._stack), parent,
-            _clean_args(args),
+            cleaned,
         )
         self._stack.append(frame)
         return span_id
@@ -256,6 +270,9 @@ class Tracer:
         span_id = self._next_span
         self._next_span += 1
         parent = self._stack[-1].span_id if self._stack else None
+        cleaned = _clean_args(args)
+        if self._context:
+            cleaned = {**self._context, **cleaned}
         self._record(
             TraceEvent(
                 seq=self._seq,
@@ -267,7 +284,7 @@ class Tracer:
                 depth=len(self._stack),
                 span=span_id,
                 parent=parent,
-                args=_clean_args(args),
+                args=cleaned,
             )
         )
 
@@ -279,6 +296,28 @@ class Tracer:
             yield span_id
         finally:
             self.end(span_id)
+
+    @contextmanager
+    def context(self, **args: Any) -> Iterator["Tracer"]:
+        """Stamp ``args`` into every event recorded inside the block.
+
+        This is how request-scoped identity (request id, tenant) reaches
+        spans emitted deep inside the optimizer or executor without
+        threading a parameter through every call: the serving layer wraps
+        request handling in ``tracer.context(rid=...)`` and the whole
+        span tree comes out stamped.  Contexts nest; inner keys win.
+        """
+        if not self.enabled:
+            yield self
+            return
+        self._context_stack.append(self._context)
+        merged = dict(self._context)
+        merged.update(_clean_args(args))
+        self._context = merged
+        try:
+            yield self
+        finally:
+            self._context = self._context_stack.pop()
 
     def _record(self, event: TraceEvent) -> None:
         if len(self._events) == self.capacity:

@@ -12,7 +12,17 @@ overload-tolerant service:
   graceful degradation ladder (cached → full → anytime → heuristic →
   stale), every response labeled with its tier;
 * :mod:`repro.serve.loadgen` — deterministic skewed load generation and
-  the warmup/steady/overload phase driver behind ``repro loadgen``.
+  the warmup/steady/overload phase driver behind ``repro loadgen``;
+* :mod:`repro.serve.http` — :class:`MetricsServer`, the stdlib
+  ``/metrics`` (OpenMetrics) + ``/healthz`` scrape endpoint;
+* :mod:`repro.serve.dash` — the terminal dashboard behind
+  ``repro dash``, refreshed from the load generator's progress hook.
+
+Telemetry (experiment E16) threads through all of it: every request
+carries a :class:`~repro.obs.telemetry.TraceContext`, latency flows into
+the shared quantile histograms, the flight recorder keeps the last K
+request summaries, and SLO burn rates feed the degradation ladder — see
+:mod:`repro.obs.telemetry`.
 """
 
 from repro.serve.cache import (
@@ -20,6 +30,8 @@ from repro.serve.cache import (
     TemplateCacheStats,
     TemplateEntry,
 )
+from repro.serve.dash import Dashboard
+from repro.serve.http import MetricsServer
 from repro.serve.loadgen import (
     LoadReport,
     LoadSpec,
@@ -51,6 +63,8 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "Dashboard",
+    "MetricsServer",
     "PlanTemplateCache",
     "TemplateCacheStats",
     "TemplateEntry",

@@ -97,6 +97,9 @@ class TemplateEntry:
     drift_failures: int = 0
     #: Circuit breaker: True = tripped, entry serves only stale reads.
     open: bool = False
+    #: Q-error of the most recent drift check (None before the first) —
+    #: surfaced on responses and in flight-recorder records.
+    last_q: float | None = None
 
 
 class PlanTemplateCache:
@@ -194,6 +197,8 @@ class PlanTemplateCache:
         self.stats.hits += 1
         if self.metrics is not None:
             self.metrics.inc("serve.cache.hits")
+        if self.tracer is not None:
+            self.tracer.instant("serve", "cache_hit", hits=entry.hits)
         return entry
 
     def lookup_stale(self, query: QueryBlock) -> TemplateEntry | None:
@@ -212,6 +217,11 @@ class PlanTemplateCache:
         self.stats.stale_hits += 1
         if self.metrics is not None:
             self.metrics.inc("serve.cache.stale_hits")
+        if self.tracer is not None:
+            self.tracer.instant(
+                "serve", "cache_stale",
+                open=entry.open, drift_failures=entry.drift_failures,
+            )
         return entry
 
     # -- writes --------------------------------------------------------------
@@ -285,6 +295,7 @@ class PlanTemplateCache:
             return False
         self.stats.drift_checks += 1
         q = q_error(entry.estimated_card, observed)
+        entry.last_q = q
         if q <= self.drift_threshold:
             entry.drift_failures = 0
             return False

@@ -1,0 +1,138 @@
+"""Terminal dashboard over a running :class:`OptimizerService`.
+
+``python -m repro dash`` drives the E15 load generator against a fresh
+service and repaints a compact text dashboard after every burst: tier
+mix as proportional bars, queue depth, cache hit rate, latency quantiles
+straight from the shared ``serve.latency_seconds`` histogram, and — when
+SLOs are configured — per-objective burn rates.  Pure text (ANSI cursor
+homing only), so it works in any terminal and degrades to plain
+append-only output when ``repaint=False`` (CI logs).
+
+The snapshot/render split keeps this testable without a TTY:
+:func:`snapshot` reduces a service to a plain dict, :func:`render` turns
+any such dict into lines, and only :class:`Dashboard` touches the
+screen.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TextIO
+
+from repro.serve.service import ALL_TIERS, OptimizerService
+
+#: Width of the tier-mix bars, in character cells.
+BAR_WIDTH = 30
+
+
+def snapshot(service: OptimizerService, phase: str = "",
+             done: int = 0) -> dict[str, Any]:
+    """Reduce a service's current state to the dashboard's plain dict."""
+    latency = service.metrics.histogram("serve.latency_seconds")
+    cache = service.cache.stats
+    return {
+        "phase": phase,
+        "done": done,
+        "requests": service.requests,
+        "rejections": service.rejections,
+        "errors": service.errors,
+        "queue_depth": service._queue.qsize() if service._queue else 0,
+        "max_queue_depth": service.max_queue_depth,
+        "tiers": dict(service._tiers),
+        "hit_rate": cache.hit_rate(),
+        "cache_entries": len(service.cache),
+        "breaker_trips": cache.breaker_trips,
+        "p50": latency.quantile(0.50),
+        "p95": latency.quantile(0.95),
+        "p99": latency.quantile(0.99),
+        "slo": service._slo.status(),
+        "flight_dumps": (
+            service.flight.dumps if service.flight is not None else 0
+        ),
+    }
+
+
+def bar(count: int, total: int, width: int = BAR_WIDTH) -> str:
+    """A proportional block bar (at least one cell for nonzero counts)."""
+    if total <= 0 or count <= 0:
+        return ""
+    cells = max(1, round(width * count / total))
+    return "#" * min(width, cells)
+
+
+def render(snap: dict[str, Any]) -> list[str]:
+    """One dashboard frame as lines of text."""
+    total = max(1, snap["requests"])
+    lines = [
+        f"phase {snap['phase'] or '-'}  "
+        f"({snap['done']} done)  "
+        f"requests {snap['requests']}  "
+        f"rejected {snap['rejections']}  errors {snap['errors']}",
+        f"queue depth {snap['queue_depth']} "
+        f"(max {snap['max_queue_depth']})  "
+        f"cache hit rate {snap['hit_rate']:.2f} "
+        f"({snap['cache_entries']} entries, "
+        f"{snap['breaker_trips']} breaker trip(s))",
+        f"latency p50/p95/p99: {snap['p50'] * 1e3:.2f} / "
+        f"{snap['p95'] * 1e3:.2f} / {snap['p99'] * 1e3:.2f} ms",
+        "tier mix:",
+    ]
+    tiers = snap["tiers"]
+    for tier in ALL_TIERS:
+        count = tiers.get(tier, 0)
+        if not count:
+            continue
+        lines.append(
+            f"  {tier:<10} {count:>6}  {bar(count, total)}"
+        )
+    for name, state in snap.get("slo", {}).items():
+        flag = "  VIOLATED" if state.get("violated") else ""
+        lines.append(
+            f"slo {name}: burn {state['burn_rate']:.2f}  "
+            f"budget {state['budget_remaining']:.2f}{flag}"
+        )
+    if snap.get("flight_dumps"):
+        lines.append(f"flight dumps: {snap['flight_dumps']}")
+    return lines
+
+
+class Dashboard:
+    """Repainting sink for dashboard frames — the loadgen progress hook.
+
+    Pass :meth:`update` as ``run_load``'s ``progress`` callback.  With
+    ``repaint`` the frame homes the cursor and redraws in place;
+    without, each ``every``-th frame appends (log-friendly).
+    """
+
+    def __init__(self, stream: TextIO, repaint: bool = True,
+                 every: int = 1):
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self.stream = stream
+        self.repaint = repaint
+        self.every = every
+        self.frames = 0
+        self._height = 0
+
+    def update(self, phase: str, done: int,
+               service: OptimizerService) -> None:
+        self.frames += 1
+        if (self.frames - 1) % self.every:
+            return
+        lines = render(snapshot(service, phase=phase, done=done))
+        if self.repaint:
+            if self._height:
+                # Home the cursor over the previous frame and clear each
+                # stale line before rewriting it.
+                self.stream.write(f"\x1b[{self._height}F")
+            out = [f"\x1b[2K{line}" for line in lines]
+            extra = self._height - len(lines)
+            if extra > 0:
+                out.extend("\x1b[2K" for _ in range(extra))
+            self.stream.write("\n".join(out) + "\n")
+            self._height = max(self._height, len(lines))
+        else:
+            self.stream.write("\n".join(lines) + "\n---\n")
+        self.stream.flush()
+
+
+__all__ = ["BAR_WIDTH", "Dashboard", "bar", "render", "snapshot"]

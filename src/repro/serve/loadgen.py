@@ -255,9 +255,14 @@ def default_phases(
 
 
 async def run_load(
-    service: OptimizerService, phases: list[Phase]
+    service: OptimizerService, phases: list[Phase], progress=None
 ) -> LoadReport:
-    """Drive ``service`` through ``phases``; account for every request."""
+    """Drive ``service`` through ``phases``; account for every request.
+
+    ``progress(phase_name, done, service)``, when given, is called after
+    every completed burst with the number of requests resolved so far in
+    the phase — the hook the terminal dashboard refreshes from.
+    """
     report = LoadReport()
     async with service:
         for phase in phases:
@@ -289,6 +294,8 @@ async def run_load(
                     phase_report.max_queue_depth = max(
                         phase_report.max_queue_depth, outcome.queue_depth
                     )
+                if progress is not None:
+                    progress(phase.name, phase_report.submitted, service)
             phase_report.latency_p50 = percentile(latencies, 0.50)
             phase_report.latency_p99 = percentile(latencies, 0.99)
             report.phases.append(phase_report)

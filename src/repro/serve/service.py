@@ -23,11 +23,28 @@ that produced it:
    request is shed with an explicit response, *before* queuing.
 
 Tiers 3–5 are chosen by current load (queue depth over
-``queue_limit``) and the request's remaining deadline.  Per-tenant
+``queue_limit``), the request's remaining deadline, and — when SLOs are
+configured — the rolling error-budget **burn rate** from
+:class:`~repro.obs.slo.SLOMonitor`, so degradation is a measured policy
+rather than a queue-length heuristic.  Per-tenant
 :class:`~repro.robust.budget.OptimizerBudget` objects are created once
 and reused across requests — ``optimize`` resets their counters, and the
 budget-reuse tests pin down that exhaustion never leaks between
 requests.
+
+Every request carries a :class:`~repro.obs.telemetry.TraceContext`
+minted at admission: a deterministic request id stamped (via
+``tracer.context``) into every event its handling emits, so one sampled
+request yields one contiguous span tree — admission instant, tier
+decision, cache probe, optimizer expansion — in the standard JSONL/
+Chrome export.  Unsampled requests run untraced (the component tracers
+are silenced for the duration), except that failures always emit a
+``serve``/``error`` instant.  A :class:`~repro.obs.flight.FlightRecorder`
+keeps the last K request summaries and dumps them when the drift
+breaker trips, a deadline-bounded request exhausts its budget, or an
+SLO enters violation.  ``telemetry=TelemetryConfig.disabled()`` turns
+the whole layer off (the E16 overhead baseline) and restores PR 6
+behavior: every request traced, unstamped, when a tracer is attached.
 
 The service is single-loop asyncio: workers interleave with admission
 but optimizations themselves run inline, so behavior under a
@@ -44,7 +61,10 @@ from dataclasses import dataclass, field
 from repro.catalog.catalog import Catalog
 from repro.config import OptimizerConfig
 from repro.cost.model import CostWeights
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.flight import FlightRecord, FlightRecorder
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.slo import SLOMonitor
+from repro.obs.telemetry import TelemetryConfig, TraceContext, TraceSampler
 from repro.obs.trace import Tracer, active_tracer
 from repro.optimizer.optimizer import StarburstOptimizer
 from repro.query.parser import parse_query
@@ -139,6 +159,16 @@ class Response:
     elapsed_seconds: float = 0.0
     template: str | None = None
     error: str | None = None
+    #: Deterministic request id (``req-000042``), minted at admission.
+    request_id: str = ""
+    #: Whether this request's handling was traced (telemetry sampling).
+    sampled: bool = False
+    #: What the plan-template cache said: hit / stale / miss / none.
+    cache_outcome: str = "none"
+    #: Last drift-check Q-error of the served cache entry, if any.
+    drift_q: float | None = None
+    #: STAR references the optimization consumed (0 for cached/heuristic).
+    budget_expansions: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -159,6 +189,8 @@ class ServiceReport:
     latency_mean: float = 0.0
     cache: dict[str, float] = field(default_factory=dict)
     feedback: dict[str, float] = field(default_factory=dict)
+    slo: dict[str, dict[str, float]] = field(default_factory=dict)
+    flight_dumps: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -172,6 +204,8 @@ class ServiceReport:
             "latency_mean": self.latency_mean,
             "cache": dict(self.cache),
             "feedback": dict(self.feedback),
+            "slo": {name: dict(state) for name, state in self.slo.items()},
+            "flight_dumps": self.flight_dumps,
         }
 
     def summary(self) -> str:
@@ -194,16 +228,29 @@ class ServiceReport:
             f"{self.cache.get('breaker_trips', 0):.0f} breaker trip(s), "
             f"{self.cache.get('evictions', 0):.0f} eviction(s)",
         ]
+        for name, state in self.slo.items():
+            lines.append(
+                f"  slo {name}: burn {state['burn_rate']:.2f}, "
+                f"budget {state['budget_remaining']:.2f}"
+                + (" [VIOLATED]" if state.get("violated") else "")
+            )
+        if self.flight_dumps:
+            lines.append(f"  flight dumps: {self.flight_dumps}")
         return "\n".join(lines)
 
 
 def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 1]); 0.0 for an empty list."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[index]
+    """Quantile of ``values`` via the shared log-bucketed histogram path.
+
+    A thin wrapper over :meth:`~repro.obs.metrics.Histogram.quantile`:
+    0.0 for an empty list, exact for single samples and ``q<=0`` /
+    ``q>=1``, within one log bucket (~±10%) of the exact nearest-rank
+    value otherwise — the same accuracy the live registry offers.
+    """
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram.quantile(q)
 
 
 class OptimizerService:
@@ -226,19 +273,25 @@ class OptimizerService:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         feedback: FeedbackCache | None = None,
+        telemetry: TelemetryConfig | None = None,
     ):
         self.config = service if service is not None else ServiceConfig()
+        self.telemetry = (
+            telemetry if telemetry is not None else TelemetryConfig()
+        )
         self.tracer = active_tracer(tracer)
-        self.metrics = metrics
+        # The registry is always present: it is the single path behind
+        # ServiceReport percentiles and the /metrics endpoint.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         if feedback is None:
             feedback = FeedbackCache(
-                tracer=self.tracer, metrics=metrics,
+                tracer=self.tracer, metrics=self.metrics,
                 capacity=self.config.feedback_capacity,
             )
         self.feedback = feedback
         self.optimizer = StarburstOptimizer(
             catalog, rules=rules, config=config, weights=weights,
-            tracer=tracer, metrics=metrics, feedback=feedback,
+            tracer=tracer, metrics=self.metrics, feedback=feedback,
         )
         self.cache = PlanTemplateCache(
             catalog,
@@ -248,12 +301,27 @@ class OptimizerService:
             breaker_threshold=self.config.breaker_threshold,
             feedback=feedback,
             tracer=self.tracer,
-            metrics=metrics,
+            metrics=self.metrics,
         )
+        telemetry_on = self.telemetry.enabled
+        self._sampler = TraceSampler(
+            self.telemetry.sample_every
+            if telemetry_on and self.tracer is not None else 0
+        )
+        self._slo = SLOMonitor(
+            self.telemetry.slos if telemetry_on else (),
+            metrics=self.metrics,
+        )
+        self.flight: FlightRecorder | None = (
+            FlightRecorder(self.telemetry.flight_capacity)
+            if telemetry_on and self.telemetry.flight_capacity > 0 else None
+        )
+        #: Text of the most recent flight-recorder dump (None until one
+        #: triggers) — what tests and the forced-trip E16 gate read.
+        self.last_flight_dump: str | None = None
         self._budgets: dict[str, OptimizerBudget] = {}
         self._queue: asyncio.Queue | None = None
         self._workers: list[asyncio.Task] = []
-        self._latencies: list[float] = []
         self._tiers: dict[str, int] = {}
         self.requests = 0
         self.rejections = 0
@@ -297,34 +365,46 @@ class OptimizerService:
         Shedding happens *here*, synchronously: when the queue already
         holds ``queue_limit`` requests the future resolves immediately
         with an explicit rejected response and nothing is enqueued — the
-        queue length is bounded by construction.
+        queue length is bounded by construction.  Every request — even a
+        shed one — gets a :class:`TraceContext` with a deterministic id.
         """
         if self._queue is None:
             raise RuntimeError("service is not started (use start()/serve_all)")
         loop = asyncio.get_running_loop()
         future: asyncio.Future[Response] = loop.create_future()
+        seq = self.requests
         self.requests += 1
-        if self.metrics is not None:
-            self.metrics.inc("serve.requests")
+        ctx = TraceContext(
+            request_id=f"req-{seq:06d}",
+            seq=seq,
+            tenant=request.tenant,
+            template=request.template,
+            sampled=self._sampler.sample(seq),
+        )
+        self.metrics.inc("serve.requests")
         depth = self._queue.qsize()
         if depth >= self.config.queue_limit:
             self.rejections += 1
             self._count_tier(TIER_REJECTED)
-            if self.metrics is not None:
-                self.metrics.inc("serve.rejected")
+            self.metrics.inc("serve.rejected")
             if self.tracer is not None:
-                self.tracer.instant(
-                    "serve", "rejected", tenant=request.tenant, depth=depth
-                )
+                with self.tracer.context(**ctx.trace_args()):
+                    self.tracer.instant(
+                        "serve", "rejected", depth=depth
+                    )
             future.set_result(Response(
                 ok=False, tier=TIER_REJECTED, tenant=request.tenant,
                 rejected=True, queue_depth=depth, template=request.template,
+                request_id=ctx.request_id, sampled=ctx.sampled,
             ))
             return future
-        self._queue.put_nowait((request, future, time.perf_counter(), depth))
-        self.max_queue_depth = max(self.max_queue_depth, self._queue.qsize())
-        if self.metrics is not None:
-            self.metrics.set_gauge("serve.queue_depth_max", self.max_queue_depth)
+        self._queue.put_nowait(
+            (request, ctx, future, time.perf_counter(), depth)
+        )
+        queued = self._queue.qsize()
+        self.max_queue_depth = max(self.max_queue_depth, queued)
+        self.metrics.set_gauge("serve.queue_depth", queued)
+        self.metrics.set_gauge("serve.queue_depth_max", self.max_queue_depth)
         return future
 
     async def request(self, request: Request) -> Response:
@@ -358,20 +438,20 @@ class OptimizerService:
     # -- reporting -----------------------------------------------------------
 
     def report(self) -> ServiceReport:
+        latency = self.metrics.histogram("serve.latency_seconds")
         return ServiceReport(
             requests=self.requests,
             rejections=self.rejections,
             errors=self.errors,
             tiers=dict(self._tiers),
             max_queue_depth=self.max_queue_depth,
-            latency_p50=percentile(self._latencies, 0.50),
-            latency_p99=percentile(self._latencies, 0.99),
-            latency_mean=(
-                sum(self._latencies) / len(self._latencies)
-                if self._latencies else 0.0
-            ),
+            latency_p50=latency.quantile(0.50),
+            latency_p99=latency.quantile(0.99),
+            latency_mean=latency.mean,
             cache=self.cache.stats.as_dict(),
             feedback=self.feedback.as_dict(),
+            slo=self._slo.status(),
+            flight_dumps=self.flight.dumps if self.flight is not None else 0,
         )
 
     # -- the worker ----------------------------------------------------------
@@ -382,69 +462,186 @@ class OptimizerService:
             if item is None:
                 self._queue.task_done()
                 return
-            request, future, admitted, depth = item
+            request, ctx, future, admitted, depth = item
+            breaker_before = self.cache.stats.breaker_trips
             try:
-                response = self._handle(request)
+                response = self._handle(request, ctx)
             except Exception as exc:  # safety net: requests never die unhandled
                 self.errors += 1
-                if self.metrics is not None:
-                    self.metrics.inc("serve.errors")
+                self.metrics.inc("serve.errors")
                 response = Response(
                     ok=False, tier=TIER_ERROR, tenant=request.tenant,
                     template=request.template, error=str(exc),
                 )
             response.queue_depth = depth
             response.elapsed_seconds = time.perf_counter() - admitted
-            self._latencies.append(response.elapsed_seconds)
+            response.request_id = ctx.request_id
+            response.sampled = ctx.sampled
             self._count_tier(response.tier)
-            if self.metrics is not None:
-                self.metrics.observe(
-                    "serve.latency_seconds", response.elapsed_seconds
-                )
+            self.metrics.observe(
+                "serve.latency_seconds", response.elapsed_seconds
+            )
+            self._finish_telemetry(request, ctx, response, breaker_before)
             if not future.done():
                 future.set_result(response)
             self._queue.task_done()
 
+    def _finish_telemetry(
+        self,
+        request: Request,
+        ctx: TraceContext,
+        response: Response,
+        breaker_before: int,
+    ) -> None:
+        """Post-response telemetry: error instants, SLOs, flight recorder."""
+        if not self.telemetry.enabled:
+            return
+        if (
+            self.tracer is not None
+            and not response.ok
+            and not ctx.sampled
+        ):
+            # Always-on-error: unsampled failures still leave a stamped
+            # instant, so no error is ever invisible in the trace.
+            with self.tracer.context(**ctx.trace_args()):
+                self.tracer.instant(
+                    "serve", "error", tier=response.tier,
+                    message=response.error or "",
+                )
+        newly_violated = (
+            self._slo.observe(response.elapsed_seconds, response.ok)
+            if len(self._slo) else []
+        )
+        if self.flight is None:
+            return
+        self.flight.record(FlightRecord(
+            seq=ctx.seq,
+            request_id=ctx.request_id,
+            tenant=response.tenant,
+            template=response.template,
+            tier=response.tier,
+            cache=response.cache_outcome,
+            plan_digest=response.plan_digest or None,
+            cost=response.best_cost if response.ok else None,
+            q_error=response.drift_q,
+            latency_seconds=response.elapsed_seconds,
+            budget_expansions=response.budget_expansions,
+            deadline_ticks=request.deadline_ticks,
+            ok=response.ok,
+            error=response.error,
+        ))
+        triggers: list[str] = []
+        if self.cache.stats.breaker_trips > breaker_before:
+            triggers.append("breaker_trip")
+        if response.budget_exhausted and request.deadline_ticks is not None:
+            triggers.append("deadline_exceeded")
+        triggers.extend(f"slo:{name}" for name in newly_violated)
+        if triggers:
+            self._dump_flight("+".join(triggers))
+
+    def _dump_flight(self, reason: str) -> None:
+        self.metrics.inc("telemetry.flight_dumps")
+        if self.telemetry.flight_path:
+            self.last_flight_dump = self.flight.dump(
+                self.telemetry.flight_path, reason
+            )
+        else:
+            self.last_flight_dump = self.flight.dump_text(reason)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "telemetry", "flight_dump",
+                reason=reason, records=len(self.flight),
+            )
+
     # -- request handling (synchronous; one event-loop thread) ---------------
 
-    def _handle(self, request: Request) -> Response:
+    def _handle(self, request: Request, ctx: TraceContext) -> Response:
         query = request.query
         if isinstance(query, str):
             query = parse_query(query, self.optimizer.catalog)
-        span = None
-        if self.tracer is not None:
-            span = self.tracer.begin(
-                "serve", "request", tenant=request.tenant
-            )
-        tier = "?"
-        try:
-            response = self._plan(request, query)
-            tier = response.tier
-        finally:
-            if span is not None:
+        if ctx.sampled:
+            return self._handle_traced(request, query, ctx)
+        if self.tracer is None:
+            return self._plan(request, query, ctx)
+        if not self.telemetry.enabled:
+            # PR 6 behavior when telemetry is off: every request gets an
+            # (unstamped) serve span, component tracers untouched.
+            span = self.tracer.begin("serve", "request", tenant=request.tenant)
+            tier = "?"
+            try:
+                response = self._plan(request, query, ctx)
+                tier = response.tier
+                return response
+            finally:
                 self.tracer.end(span, tier=tier)
-        return response
+        # Telemetry on, request not sampled: silence the component
+        # tracers so unsampled requests cost (almost) nothing to trace.
+        previous = (self.optimizer.tracer, self.cache.tracer)
+        self.optimizer.tracer = None
+        self.cache.tracer = None
+        try:
+            return self._plan(request, query, ctx)
+        finally:
+            self.optimizer.tracer, self.cache.tracer = previous
 
-    def _plan(self, request: Request, query: QueryBlock) -> Response:
+    def _handle_traced(
+        self, request: Request, query: QueryBlock, ctx: TraceContext
+    ) -> Response:
+        """The sampled path: one stamped span tree for the whole request.
+
+        Every event recorded inside the ``tracer.context`` block — the
+        serve span, admission/tier instants, cache probes, the optimizer
+        expansion — carries this request's ``rid``, which is what lets
+        :func:`repro.obs.telemetry.span_tree` reassemble it.  The swap of
+        the component tracers is safe because ``_handle`` runs
+        synchronously on the single event-loop thread.
+        """
+        tracer = self.tracer
+        self.metrics.inc("serve.sampled")
+        with tracer.context(**ctx.trace_args()):
+            span = tracer.begin("serve", "request")
+            previous = (self.optimizer.tracer, self.cache.tracer)
+            self.optimizer.tracer = tracer
+            self.cache.tracer = tracer
+            tier = "?"
+            try:
+                tracer.instant(
+                    "serve", "admitted", seq=ctx.seq,
+                    depth=self._queue.qsize() if self._queue else 0,
+                )
+                response = self._plan(request, query, ctx)
+                tier = response.tier
+                return response
+            finally:
+                self.optimizer.tracer, self.cache.tracer = previous
+                tracer.end(span, tier=tier)
+
+    def _plan(
+        self, request: Request, query: QueryBlock, ctx: TraceContext
+    ) -> Response:
         entry = self.cache.lookup(query)
         if entry is not None:
-            self._tier_metric(TIER_CACHED)
+            self._note_tier(ctx, TIER_CACHED)
             return Response(
                 ok=True, tier=TIER_CACHED, tenant=request.tenant,
                 plan_digest=entry.plan.digest, best_cost=entry.best_cost,
                 cache_hit=True, template=request.template,
+                cache_outcome="hit", drift_q=entry.last_q,
             )
+        outcome = "miss" if self.cache.enabled else "none"
         tier = self._choose_tier(request)
         if tier == TIER_STALE:
             stale = self.cache.lookup_stale(query)
             if stale is not None:
-                self._tier_metric(TIER_STALE)
+                self._note_tier(ctx, TIER_STALE)
                 return Response(
                     ok=True, tier=TIER_STALE, tenant=request.tenant,
                     plan_digest=stale.plan.digest, best_cost=stale.best_cost,
                     cache_hit=True, template=request.template,
+                    cache_outcome="stale", drift_q=stale.last_q,
                 )
             tier = TIER_HEURISTIC  # nothing cached to go stale on
+        expansions = 0
         if tier == TIER_HEURISTIC:
             result = self.optimizer.optimize_heuristic(query)
         else:
@@ -454,6 +651,7 @@ class OptimizerService:
                 result = self.optimizer.optimize(query)
             finally:
                 self.optimizer.budget = None
+            expansions = budget.expansions
             if result.budget_exhausted:
                 # The search was cut short — label the answer honestly,
                 # whatever tier admission picked.
@@ -462,25 +660,37 @@ class OptimizerService:
                 self.cache.insert(
                     query, result.best_plan, result.best_cost, tier=tier
                 )
-        self._tier_metric(tier)
+        self._note_tier(ctx, tier)
         return Response(
             ok=True, tier=tier, tenant=request.tenant,
             plan_digest=result.best_plan.digest, best_cost=result.best_cost,
             budget_exhausted=result.budget_exhausted,
             template=request.template,
+            cache_outcome=outcome, budget_expansions=expansions,
         )
+
+    def _note_tier(self, ctx: TraceContext, tier: str) -> None:
+        """Record the tier decision: context, metric, sampled instant."""
+        ctx.tier = tier
+        self.metrics.inc(f"serve.tier.{tier}")
+        if ctx.sampled and self.tracer is not None:
+            self.tracer.instant("serve", "tier", tier=tier)
 
     def _choose_tier(self, request: Request) -> str:
         cfg = self.config
         load = self._queue.qsize() / cfg.queue_limit if self._queue else 0.0
+        burn = self._slo.max_burn() if len(self._slo) else 0.0
         deadline = request.deadline_ticks
         if deadline is not None and deadline <= cfg.heuristic_deadline:
             return TIER_HEURISTIC
         if cfg.allow_stale and load >= cfg.stale_load:
             return TIER_STALE
-        if load >= cfg.heuristic_load:
+        if (
+            load >= cfg.heuristic_load
+            or burn >= self.telemetry.slo_heuristic_burn
+        ):
             return TIER_HEURISTIC
-        if load >= cfg.anytime_load:
+        if load >= cfg.anytime_load or burn >= self.telemetry.slo_anytime_burn:
             return TIER_ANYTIME
         if deadline is not None and deadline <= cfg.anytime_deadline:
             return TIER_ANYTIME
@@ -514,7 +724,3 @@ class OptimizerService:
 
     def _count_tier(self, tier: str) -> None:
         self._tiers[tier] = self._tiers.get(tier, 0) + 1
-
-    def _tier_metric(self, tier: str) -> None:
-        if self.metrics is not None:
-            self.metrics.inc(f"serve.tier.{tier}")

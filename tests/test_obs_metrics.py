@@ -59,6 +59,61 @@ class TestRegistry:
         metrics.observe("c", 1)
         assert len(metrics) == 3
 
+    def test_empty_histogram_json_round_trips(self):
+        # Regression: an empty histogram once snapshotted min=inf /
+        # max=-inf, which json.dumps(allow_nan=False) rejects.
+        import json
+
+        metrics = MetricsRegistry()
+        metrics.histogram("empty")
+        text = json.dumps(metrics.snapshot(), allow_nan=False)
+        assert json.loads(text)["empty.min"] == 0.0
+        assert json.loads(text)["empty.max"] == 0.0
+
+
+class TestHistogramQuantiles:
+    def _histogram(self, values):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram()
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_empty_quantile_is_zero(self):
+        assert self._histogram([]).quantile(0.5) == 0.0
+
+    def test_single_sample_exact_at_every_q(self):
+        histogram = self._histogram([0.037])
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.037
+
+    def test_extremes_are_exact(self):
+        histogram = self._histogram([0.001, 0.01, 0.1, 1.0])
+        assert histogram.quantile(0.0) == 0.001
+        assert histogram.quantile(1.0) == 1.0
+
+    def test_accuracy_within_one_bucket(self):
+        from repro.obs.metrics import BUCKET_BASE
+
+        values = [i / 1000.0 for i in range(1, 1001)]
+        histogram = self._histogram(values)
+        for q in (0.25, 0.50, 0.90, 0.99):
+            exact = values[int(q * (len(values) - 1))]
+            estimate = histogram.quantile(q)
+            ratio = max(exact, estimate) / min(exact, estimate)
+            assert ratio <= BUCKET_BASE ** 1.5, (q, exact, estimate)
+
+    def test_quantile_monotone_in_q(self):
+        histogram = self._histogram([0.001 * 2 ** i for i in range(12)])
+        quantiles = [histogram.quantile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+
+    def test_out_of_range_q_clamps_to_extremes(self):
+        histogram = self._histogram([0.001, 0.01, 0.1])
+        assert histogram.quantile(-0.1) == 0.001
+        assert histogram.quantile(1.5) == 0.1
+
 
 class TestStatsSnapshotSchema:
     """One serialization path for every stats dataclass in the repo."""

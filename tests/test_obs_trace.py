@@ -171,7 +171,8 @@ class TestValidation:
 
     def test_known_categories_cover_schema_table(self):
         assert {"star", "glue", "plantable", "propfunc", "executor",
-                "ship", "chaos", "optimizer", "resilient", "robust"} == CATEGORIES
+                "ship", "chaos", "optimizer", "resilient", "robust",
+                "serve", "telemetry"} == CATEGORIES
 
 
 class TestSignature:

@@ -1,0 +1,169 @@
+"""OpenMetrics rendering, the strict validator, and the /metrics server."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_openmetrics, validate_openmetrics
+from repro.obs.openmetrics import CONTENT_TYPE, sanitize_name
+from repro.serve import MetricsServer
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("serve.requests", 5)
+    registry.inc("serve.tier.full", 3)
+    registry.set_gauge("serve.queue_depth", 2)
+    registry.set_gauge("slo.latency.burn_rate", 0.25)
+    for value in (0.001, 0.002, 0.004, 0.008):
+        registry.observe("serve.latency_seconds", value)
+    return registry
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("serve.tier.full") == "serve_tier_full"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_name("9lives")[0] in ("_",)
+
+    def test_legal_names_pass_through(self):
+        assert sanitize_name("serve_requests") == "serve_requests"
+
+
+class TestRender:
+    def test_round_trips_through_the_validator(self):
+        text = render_openmetrics(_registry())
+        families = validate_openmetrics(text)
+        assert families["serve_requests"] == "counter"
+        assert families["serve_queue_depth"] == "gauge"
+        assert families["serve_latency_seconds"] == "summary"
+
+    def test_counters_expose_total_samples(self):
+        text = render_openmetrics(_registry())
+        assert "serve_requests_total 5" in text.splitlines()
+
+    def test_histograms_expose_quantiles_count_sum(self):
+        lines = render_openmetrics(_registry()).splitlines()
+        assert any(
+            line.startswith('serve_latency_seconds{quantile="0.5"}')
+            for line in lines
+        )
+        assert any(
+            line.startswith("serve_latency_seconds_count 4")
+            for line in lines
+        )
+        assert any(
+            line.startswith("serve_latency_seconds_sum")
+            for line in lines
+        )
+
+    def test_ends_with_eof(self):
+        assert render_openmetrics(_registry()).endswith("# EOF\n")
+
+    def test_empty_registry_is_valid(self):
+        text = render_openmetrics(MetricsRegistry())
+        assert validate_openmetrics(text) == {}
+
+    def test_name_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.tier_full")
+        registry.inc("serve.tier.full")
+        with pytest.raises(ValueError, match="collision"):
+            render_openmetrics(registry)
+
+    def test_deterministic_output(self):
+        assert render_openmetrics(_registry()) == render_openmetrics(
+            _registry()
+        )
+
+
+class TestValidator:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            validate_openmetrics("# TYPE a counter\na_total 1\n")
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            validate_openmetrics("a_total 1\n# EOF\n")
+
+    def test_counter_sample_must_be_total(self):
+        with pytest.raises(ValueError, match="_total"):
+            validate_openmetrics("# TYPE a counter\na 1\n# EOF\n")
+
+    def test_gauge_sample_must_be_bare(self):
+        with pytest.raises(ValueError, match="suffix"):
+            validate_openmetrics("# TYPE a gauge\na_total 1\n# EOF\n")
+
+    def test_summary_quantile_needs_label(self):
+        with pytest.raises(ValueError, match="quantile"):
+            validate_openmetrics("# TYPE a summary\na 1\n# EOF\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_openmetrics(
+                "# TYPE a counter\n# TYPE a counter\n# EOF\n"
+            )
+
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            validate_openmetrics("# TYPE a gauge\na one\n# EOF\n")
+
+    def test_text_after_eof_rejected(self):
+        with pytest.raises(ValueError):
+            validate_openmetrics("# EOF\n# TYPE a gauge\na 1\n# EOF\n")
+
+
+class TestMetricsServer:
+    def test_scrape_metrics_endpoint(self):
+        registry = _registry()
+        with MetricsServer(registry) as server:
+            with urllib.request.urlopen(f"{server.url}/metrics") as reply:
+                assert reply.status == 200
+                assert reply.headers["Content-Type"] == CONTENT_TYPE
+                body = reply.read().decode("utf-8")
+        families = validate_openmetrics(body)
+        assert "serve_requests" in families
+
+    def test_scrape_sees_live_updates(self):
+        registry = _registry()
+        with MetricsServer(registry) as server:
+            registry.inc("serve.requests", 95)
+            with urllib.request.urlopen(f"{server.url}/metrics") as reply:
+                body = reply.read().decode("utf-8")
+        assert "serve_requests_total 100" in body.splitlines()
+
+    def test_healthz_default_document(self):
+        with MetricsServer(MetricsRegistry()) as server:
+            with urllib.request.urlopen(f"{server.url}/healthz") as reply:
+                assert reply.status == 200
+                assert json.loads(reply.read()) == {"ok": True}
+
+    def test_healthz_custom_callable(self):
+        health = lambda: {"ok": False, "queue_depth": 9}  # noqa: E731
+        with MetricsServer(MetricsRegistry(), health=health) as server:
+            with urllib.request.urlopen(f"{server.url}/healthz") as reply:
+                assert json.loads(reply.read()) == {
+                    "ok": False, "queue_depth": 9,
+                }
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/nope")
+            assert err.value.code == 404
+
+    def test_port_zero_picks_a_free_port(self):
+        with MetricsServer(MetricsRegistry()) as a, \
+                MetricsServer(MetricsRegistry()) as b:
+            assert a.port != b.port
+            assert a.port > 0
+
+    def test_start_is_idempotent_and_stop_releases(self):
+        server = MetricsServer(MetricsRegistry())
+        assert server.start() is server.start()
+        server.stop()
+        server.stop()  # second stop is a no-op

@@ -1,0 +1,195 @@
+"""SLO objectives, burn-rate math, and SLO-driven tier degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, SLObjective, SLOMonitor, TelemetryConfig
+from repro.serve import (
+    OptimizerService,
+    Request,
+    ServiceConfig,
+    TIER_FULL,
+    TIER_HEURISTIC,
+)
+from repro.workloads import chain_workload
+
+SQL = "SELECT R0.ID, R2.ID FROM R0, R1, R2 WHERE R0.ID = R1.FK AND R1.ID = R2.FK"
+
+
+class TestSLObjective:
+    def test_latency_objective_judges_speed_and_success(self):
+        slo = SLObjective.latency("lat", 0.1)
+        assert slo.good(0.05, ok=True)
+        assert not slo.good(0.5, ok=True)
+        assert not slo.good(0.05, ok=False)
+
+    def test_error_objective_judges_success_only(self):
+        slo = SLObjective.errors("err")
+        assert slo.good(99.0, ok=True)
+        assert not slo.good(0.0, ok=False)
+
+    def test_error_budget_is_one_minus_target(self):
+        assert SLObjective("x", target=0.99).error_budget == pytest.approx(0.01)
+        assert SLObjective("x", target=0.9).error_budget == pytest.approx(0.1)
+
+    def test_invalid_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            SLObjective("")
+        with pytest.raises(ValueError):
+            SLObjective("x", target=1.0)
+        with pytest.raises(ValueError):
+            SLObjective("x", target=0.0)
+        with pytest.raises(ValueError):
+            SLObjective.latency("x", -1.0)
+        with pytest.raises(ValueError):
+            SLObjective("x", window=0)
+
+
+class TestBurnMath:
+    def _monitor(self, target=0.9, window=10, min_samples=4):
+        slo = SLObjective(
+            name="lat", target=target, latency_threshold=0.1,
+            window=window, min_samples=min_samples,
+        )
+        return SLOMonitor([slo])
+
+    def test_all_good_burns_nothing(self):
+        monitor = self._monitor()
+        for _ in range(10):
+            monitor.observe(0.01, ok=True)
+        assert monitor.burn_rate("lat") == 0.0
+        assert monitor.budget_remaining("lat") == 1.0
+
+    def test_burn_one_at_exactly_the_budget(self):
+        # target 0.9 → budget 0.1; 1 bad in 10 = bad fraction 0.1 → burn 1
+        monitor = self._monitor()
+        for i in range(10):
+            monitor.observe(0.5 if i == 0 else 0.01, ok=True)
+        assert monitor.burn_rate("lat") == pytest.approx(1.0)
+
+    def test_burn_scales_with_bad_fraction(self):
+        monitor = self._monitor()
+        for i in range(10):
+            monitor.observe(0.5 if i < 3 else 0.01, ok=True)
+        assert monitor.burn_rate("lat") == pytest.approx(3.0)
+        assert monitor.budget_remaining("lat") == 0.0
+
+    def test_window_rolls_old_samples_out(self):
+        monitor = self._monitor(window=4, min_samples=2)
+        for _ in range(4):
+            monitor.observe(0.5, ok=True)  # all bad
+        assert monitor.burn_rate("lat") > 1.0
+        for _ in range(4):
+            monitor.observe(0.01, ok=True)  # all good; bad ones rolled out
+        assert monitor.burn_rate("lat") == 0.0
+
+    def test_violation_reported_once_per_incident(self):
+        monitor = self._monitor(window=10, min_samples=2)
+        transitions = []
+        for _ in range(6):
+            transitions.append(monitor.observe(0.5, ok=True))
+        flat = [name for batch in transitions for name in batch]
+        assert flat == ["lat"]  # one transition, not six
+        assert monitor.violated("lat")
+
+    def test_recovery_rearms_the_transition(self):
+        monitor = self._monitor(window=4, min_samples=2)
+        for _ in range(4):
+            monitor.observe(0.5, ok=True)
+        assert monitor.violated("lat")
+        for _ in range(4):
+            monitor.observe(0.01, ok=True)
+        assert not monitor.violated("lat")
+        newly = []
+        for _ in range(4):
+            newly.extend(monitor.observe(0.5, ok=True))
+        assert newly == ["lat"]  # second incident reports again
+
+    def test_min_samples_gates_violation(self):
+        monitor = self._monitor(window=10, min_samples=8)
+        for _ in range(4):
+            assert monitor.observe(0.5, ok=True) == []
+        assert not monitor.violated("lat")
+
+    def test_gauges_published_on_observe(self):
+        metrics = MetricsRegistry()
+        slo = SLObjective(name="lat", target=0.9, latency_threshold=0.1,
+                          window=10, min_samples=2)
+        monitor = SLOMonitor([slo], metrics=metrics)
+        monitor.observe(0.5, ok=True)
+        snap = metrics.snapshot()
+        assert snap["slo.lat.burn_rate"] == pytest.approx(10.0)
+        assert snap["slo.lat.budget_remaining"] == 0.0
+
+    def test_max_burn_over_objectives(self):
+        monitor = SLOMonitor([
+            SLObjective(name="a", target=0.9, latency_threshold=0.1),
+            SLObjective.errors("b", target=0.9),
+        ])
+        monitor.observe(0.5, ok=True)  # bad for a, good for b
+        assert monitor.max_burn() == pytest.approx(monitor.burn_rate("a"))
+        assert SLOMonitor([]).max_burn() == 0.0
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOMonitor([SLObjective.errors("x"), SLObjective.errors("x")])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            SLOMonitor([]).burn_rate("ghost")
+
+    def test_status_snapshot_shape(self):
+        monitor = self._monitor()
+        monitor.observe(0.01, ok=True)
+        status = monitor.status()
+        assert set(status) == {"lat"}
+        assert set(status["lat"]) == {
+            "burn_rate", "budget_remaining", "samples", "violated",
+        }
+
+
+class TestSLODrivenDegradation:
+    """Burn rate feeds ``_choose_tier``: sustained violation degrades."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return chain_workload(3, rows=40)
+
+    def _service(self, workload, threshold) -> OptimizerService:
+        # An impossible latency SLO burns immediately; a generous one never.
+        telemetry = TelemetryConfig(
+            sample_every=0,
+            slos=(SLObjective(
+                name="lat", target=0.9, latency_threshold=threshold,
+                window=8, min_samples=2,
+            ),),
+        )
+        return OptimizerService(
+            workload.catalog,
+            service=ServiceConfig(workers=1, queue_limit=32,
+                                  cache_capacity=0),
+            telemetry=telemetry,
+        )
+
+    def test_hot_burn_forces_heuristic_tier(self, workload):
+        service = self._service(workload, threshold=1e-9)
+        responses = service.serve_all([Request(SQL)] * 8, burst=1)
+        # The first responses optimize at full tier; once burn crosses
+        # the heuristic threshold, the ladder degrades.
+        assert responses[0].tier == TIER_FULL
+        assert responses[-1].tier == TIER_HEURISTIC
+        assert any(r.degraded for r in responses)
+
+    def test_cool_burn_stays_full_tier(self, workload):
+        service = self._service(workload, threshold=60.0)
+        responses = service.serve_all([Request(SQL)] * 8, burst=1)
+        assert all(r.tier == TIER_FULL for r in responses)
+
+    def test_report_carries_slo_status(self, workload):
+        service = self._service(workload, threshold=1e-9)
+        service.serve_all([Request(SQL)] * 8, burst=1)
+        report = service.report()
+        assert report.slo["lat"]["violated"] == 1.0
+        assert report.slo["lat"]["burn_rate"] > 1.0
+        assert "slo lat" in report.summary() or "slo" in report.summary()
