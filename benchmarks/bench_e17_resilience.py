@@ -1,0 +1,347 @@
+"""E17 — crash-safe serving: pool chaos, quarantine, warm restarts.
+
+PR 8's tentpole moves optimization out of the serving loop into a
+supervised process pool (:mod:`repro.serve.pool`), quarantines poison
+templates (:mod:`repro.serve.quarantine`), and persists warm state
+across restarts (:mod:`repro.serve.snapshot`).  This experiment gates
+the three resilience claims:
+
+* **Part A — every request resolves under chaos.**  A request stream
+  served through a one-worker pool with seeded fault injection
+  (:class:`~repro.serve.PoolChaos`): workers crash and hang
+  mid-request.  Gates: injection actually fired (crashes + timeouts
+  > 0), **100% of requests resolve successfully** — a pool failure
+  fails over to the in-loop heuristic planner, never the client — and
+  every fallback is labeled (``pool_failure`` on the response).
+* **Part B — poison templates are quarantined.**  One template always
+  crashes its worker.  Gates: the template is quarantined within
+  ``quarantine_strikes`` attempts, and every request after the
+  quarantine is served heuristically **without touching the pool**
+  (``pool.dispatched`` frozen) — one bad query cannot burn the respawn
+  budget.
+* **Part C — warm restarts recover the cache.**  A warmed service
+  snapshots its plan-template cache; a restarted service loads it.
+  Gates: the restarted service's cache hit rate over the same stream
+  is at least ``min_recovery_fraction`` of the pre-restart warm hit
+  rate, and strictly better than a cold start
+  (``benchmarks/baselines.json``).
+
+Results are written to ``BENCH_e17.json``.  ``--smoke`` serves shorter
+streams for CI (same gates).
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.bench import Table, banner
+from repro.serve import (
+    LoadSpec,
+    OptimizerService,
+    PoolChaos,
+    Request,
+    ServiceConfig,
+    generate,
+)
+
+HERE = Path(__file__).resolve().parent
+OUTPUT = HERE.parent / "BENCH_e17.json"
+BASELINES = HERE / "baselines.json"
+
+POISON_SQL = "SELECT R0.ID, R2.ID FROM R0, R1, R2 WHERE R0.ID = R1.FK AND R1.ID = R2.FK"
+
+
+def _baselines() -> dict:
+    return json.loads(BASELINES.read_text())["e17"]
+
+
+def _service(catalog, chaos=None, **overrides) -> OptimizerService:
+    defaults = dict(workers=1, queue_limit=64)
+    defaults.update(overrides)
+    return OptimizerService(
+        catalog, service=ServiceConfig(**defaults), pool_chaos=chaos
+    )
+
+
+def part_a_chaos(smoke: bool) -> dict:
+    """Seeded crashes and hangs: every request must still resolve."""
+    count = 24 if smoke else 60
+    spec = LoadSpec(
+        n_tables=3, rows=60, wild_fraction=0.0, deadline_fraction=0.0
+    )
+    workload, requests = generate(spec, count)
+    chaos = PoolChaos(seed=17, crash_prob=0.2, hang_prob=0.04,
+                      hang_seconds=30.0)
+    service = _service(
+        workload.catalog, chaos=chaos, cache_capacity=0,
+        pool_workers=1, pool_timeout=0.5, pool_respawn_budget=64,
+        quarantine_strikes=0,  # Part B's subject; keep A orthogonal
+    )
+    try:
+        responses = service.serve_all(requests, burst=4)
+        stats = service.pool.stats
+        return {
+            "requests": count,
+            "chaos": {"seed": chaos.seed, "crash_prob": chaos.crash_prob,
+                      "hang_prob": chaos.hang_prob},
+            "resolved_ok": sum(1 for r in responses if r.ok),
+            "pool_fallbacks": sum(1 for r in responses if r.pool_failure),
+            "fallback_tiers": sorted(
+                {r.tier for r in responses if r.pool_failure}
+            ),
+            "crashes": stats.crashes,
+            "timeouts": stats.timeouts,
+            "respawns": stats.respawns,
+            "dispatched": stats.dispatched,
+            "completed": stats.completed,
+        }
+    finally:
+        service.close()
+
+
+def part_b_quarantine(smoke: bool) -> dict:
+    """A template that always crashes its worker gets quarantined."""
+    strikes = _baselines()["quarantine_strikes"]
+    spec = LoadSpec(n_tables=3, rows=60)
+    workload, _ = generate(spec, 1)
+    chaos = PoolChaos(
+        seed=5, poison_templates=frozenset({"poison"}),
+        poison_action="crash",
+    )
+    service = _service(
+        workload.catalog, chaos=chaos, cache_capacity=0,
+        pool_workers=1, pool_respawn_budget=strikes * 4,
+        quarantine_strikes=strikes,
+    )
+    poison = Request(POISON_SQL, template="poison")
+    try:
+        attempts_to_quarantine = 0
+        for _ in range(strikes + 3):
+            attempts_to_quarantine += 1
+            service.serve_all([poison])
+            if service.quarantine.stats.quarantines:
+                break
+        quarantined = service.quarantine.stats.quarantines > 0
+        dispatched_at_quarantine = service.pool.stats.dispatched
+
+        after = []
+        for _ in range(4):
+            after.extend(service.serve_all([poison]))
+        return {
+            "strikes": strikes,
+            "attempts_to_quarantine": attempts_to_quarantine,
+            "quarantined": quarantined,
+            "dispatched_at_quarantine": dispatched_at_quarantine,
+            "dispatched_after": service.pool.stats.dispatched,
+            "post_quarantine_ok": all(r.ok for r in after),
+            "post_quarantine_tiers": sorted({r.tier for r in after}),
+            "post_quarantine_flagged": all(r.quarantined for r in after),
+            "served_heuristically": service.quarantine.stats.served,
+            "pool_crashes": service.pool.stats.crashes,
+        }
+    finally:
+        service.close()
+
+
+def _hit_rate_over(service: OptimizerService, stream) -> float:
+    """Serve the stream once; the cache hit rate of just that pass."""
+    lookups = service.cache.stats.lookups
+    hits = service.cache.stats.hits
+    responses = service.serve_all(stream, burst=4)
+    assert all(r.ok for r in responses), "restart stream must not shed"
+    seen = service.cache.stats.lookups - lookups
+    return (service.cache.stats.hits - hits) / seen if seen else 0.0
+
+
+def part_c_restart(smoke: bool) -> dict:
+    """Snapshot a warm cache; a restarted service must stay warm."""
+    templates = 4 if smoke else 6
+    repeats = 3
+    spec = LoadSpec(
+        n_tables=3, rows=60, templates=templates, param_jitter=0,
+        wild_fraction=0.0, deadline_fraction=0.0,
+    )
+    workload, raw = generate(spec, templates * 8)
+    # One request per template, round-robin `repeats` times: a cold
+    # pass misses each template exactly once, so the cold hit rate is
+    # exactly (repeats - 1) / repeats and warm is 1.0 — deterministic.
+    uniques: dict[str, Request] = {}
+    for request in raw:
+        uniques.setdefault(request.template, request)
+    stream = list(uniques.values()) * repeats
+
+    with tempfile.TemporaryDirectory() as directory:
+        path = str(Path(directory) / "serve.snapshot")
+
+        warm = _service(workload.catalog, snapshot_path=path)
+        try:
+            warm.serve_all(stream, burst=4)  # priming pass (+ snapshot)
+            warm_hit_rate = _hit_rate_over(warm, stream)
+        finally:
+            warm.close()
+
+        restarted = _service(workload.catalog, snapshot_path=path)
+        try:
+            loaded = restarted.snapshot_loaded
+            templates_restored = restarted.templates_restored
+            restored_hit_rate = _hit_rate_over(restarted, stream)
+        finally:
+            restarted.close()
+
+    cold = _service(workload.catalog)
+    try:
+        cold_hit_rate = _hit_rate_over(cold, stream)
+    finally:
+        cold.close()
+
+    return {
+        "templates": len(uniques),
+        "stream": len(stream),
+        "snapshot_loaded": loaded,
+        "templates_restored": templates_restored,
+        "warm_hit_rate": warm_hit_rate,
+        "restored_hit_rate": restored_hit_rate,
+        "cold_hit_rate": cold_hit_rate,
+        "recovery_fraction": (
+            restored_hit_rate / warm_hit_rate if warm_hit_rate else 0.0
+        ),
+    }
+
+
+def run_experiment(smoke: bool = False) -> str:
+    gates = _baselines()
+    part_a = part_a_chaos(smoke)
+    part_b = part_b_quarantine(smoke)
+    part_c = part_c_restart(smoke)
+
+    checks = {
+        "chaos_injected": part_a["crashes"] + part_a["timeouts"] > 0,
+        "all_requests_resolve": part_a["resolved_ok"] == part_a["requests"],
+        "fallbacks_labeled": (
+            part_a["pool_fallbacks"]
+            == part_a["crashes"] + part_a["timeouts"]
+        ),
+        "quarantined_within_strikes": (
+            part_b["quarantined"]
+            and part_b["attempts_to_quarantine"] <= part_b["strikes"]
+        ),
+        "quarantine_shields_pool": (
+            part_b["dispatched_after"]
+            == part_b["dispatched_at_quarantine"]
+        ),
+        "quarantined_still_served": (
+            part_b["post_quarantine_ok"]
+            and part_b["post_quarantine_tiers"] == ["heuristic"]
+            and part_b["post_quarantine_flagged"]
+        ),
+        "snapshot_restored": (
+            part_c["snapshot_loaded"]
+            and part_c["templates_restored"] == part_c["templates"]
+        ),
+        "restart_recovers_warmth": (
+            part_c["recovery_fraction"] >= gates["min_recovery_fraction"]
+        ),
+        "restart_beats_cold": (
+            part_c["restored_hit_rate"] > part_c["cold_hit_rate"]
+        ),
+    }
+    ok = all(checks.values())
+
+    payload = {
+        "smoke": smoke,
+        "gates": gates,
+        "chaos": part_a,
+        "quarantine": part_b,
+        "restart": part_c,
+        "checks": checks,
+        "ok": ok,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    table = Table(["metric", "value", "gate"])
+    table.add(
+        "chaos crashes + timeouts",
+        part_a["crashes"] + part_a["timeouts"], "> 0",
+    )
+    table.add(
+        "requests resolved ok",
+        f"{part_a['resolved_ok']}/{part_a['requests']}",
+        f"== {part_a['requests']}",
+    )
+    table.add("pool fallbacks", part_a["pool_fallbacks"], "== crashes+timeouts")
+    table.add("worker respawns", part_a["respawns"], "")
+    table.add(
+        "attempts to quarantine", part_b["attempts_to_quarantine"],
+        f"<= {part_b['strikes']}",
+    )
+    table.add(
+        "pool dispatches after quarantine",
+        part_b["dispatched_after"] - part_b["dispatched_at_quarantine"],
+        "== 0",
+    )
+    table.add(
+        "post-quarantine tiers",
+        ",".join(part_b["post_quarantine_tiers"]), "heuristic only",
+    )
+    table.add(
+        "templates restored",
+        f"{part_c['templates_restored']}/{part_c['templates']}",
+        f"== {part_c['templates']}",
+    )
+    table.add("warm hit rate", f"{part_c['warm_hit_rate']:.2f}", "")
+    table.add(
+        "restored hit rate", f"{part_c['restored_hit_rate']:.2f}",
+        f">= {gates['min_recovery_fraction']} x warm",
+    )
+    table.add(
+        "cold hit rate", f"{part_c['cold_hit_rate']:.2f}", "< restored",
+    )
+
+    lines = [
+        banner(
+            "E17 — crash-safe serving: pool chaos, quarantine, restarts",
+            "A request stream served through a supervised optimizer pool "
+            "under seeded crash/hang injection (every request must "
+            "resolve), a poison template that must be quarantined within "
+            "K strikes and then served without touching the pool, and a "
+            "warm-restart snapshot that must recover the pre-restart "
+            "cache hit rate.",
+        ),
+        str(table),
+        "failed checks: "
+        + (", ".join(k for k, v in checks.items() if not v) or "none"),
+        f"machine-readable results: {OUTPUT.name}",
+        "",
+        "RESULT: " + (
+            "RESILIENCE GATES PASS" if ok else "RESILIENCE GATES FAIL"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def test_e17_resilience(benchmark, report):
+    text = benchmark.pedantic(
+        lambda: run_experiment(smoke=True), rounds=1, iterations=1
+    )
+    report(text)
+    assert "RESILIENCE GATES PASS" in text
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shorter request streams for CI (same gates)",
+    )
+    args = parser.parse_args()
+    text = run_experiment(smoke=args.smoke)
+    print(text)
+    return 0 if "RESILIENCE GATES PASS" in text else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,14 +37,22 @@ Subcommands:
   after every burst (``--metrics-port`` additionally serves
   ``/metrics`` while it runs).
 
+* ``snapshot`` — validate and summarize a warm-restart snapshot file
+  (version, age, template/feedback counts, tier mix) without starting a
+  service.
+
 ``serve``, ``loadgen`` and ``dash`` share the telemetry flags
 (``--sample``, ``--flight-size``, ``--flight-out``, ``--slo-latency``,
-``--metrics-port``, ``--no-telemetry``) — experiment E16's CLI face.
+``--metrics-port``, ``--no-telemetry``) — experiment E16's CLI face —
+and the crash-safety flags (``--pool-workers``, ``--pool-timeout``,
+``--respawn-budget``, ``--snapshot-dir``, ``--snapshot-every``,
+``--quarantine-strikes``) — experiment E17's.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import (
@@ -477,9 +485,17 @@ def cmd_adaptive(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+#: File name a ``--snapshot-dir`` snapshot is kept under.
+SNAPSHOT_FILENAME = "serve.snapshot"
+
+
 def _service_config(args: argparse.Namespace) -> "ServiceConfig":
     from repro.serve import ServiceConfig
 
+    snapshot_path = None
+    if getattr(args, "snapshot_dir", None):
+        os.makedirs(args.snapshot_dir, exist_ok=True)
+        snapshot_path = os.path.join(args.snapshot_dir, SNAPSHOT_FILENAME)
     return ServiceConfig(
         workers=args.workers,
         queue_limit=args.queue_limit,
@@ -487,6 +503,12 @@ def _service_config(args: argparse.Namespace) -> "ServiceConfig":
         band_factor=args.band,
         drift_threshold=args.drift_threshold,
         breaker_threshold=args.breaker,
+        pool_workers=getattr(args, "pool_workers", 0),
+        pool_timeout=getattr(args, "pool_timeout", 30.0),
+        pool_respawn_budget=getattr(args, "respawn_budget", 3),
+        quarantine_strikes=getattr(args, "quarantine_strikes", 3),
+        snapshot_path=snapshot_path,
+        snapshot_every=getattr(args, "snapshot_every", 0),
     )
 
 
@@ -561,10 +583,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         catalog, rules=_rule_set(args.rules), service=_service_config(args),
         tracer=tracer, telemetry=_telemetry_config(args),
     )
+    if service.snapshot_loaded:
+        print(f"warm start: {service.templates_restored} template(s), "
+              f"{service.feedback_restored} feedback entr(ies) restored "
+              "from snapshot")
+    elif service.snapshot_error is not None:
+        print(f"cold start: snapshot rejected ({service.snapshot_error})",
+              file=sys.stderr)
     server = _start_metrics_server(args, service.metrics)
     try:
         responses = service.serve_all(requests, burst=args.burst)
     finally:
+        service.close()
         if server is not None:
             server.stop()
     _write_trace(args, tracer)
@@ -619,6 +649,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     try:
         report = drive(service, phases)
     finally:
+        service.close()
         if server is not None:
             server.stop()
     _write_trace(args, tracer)
@@ -681,6 +712,39 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Validate and summarize a warm-restart snapshot file."""
+    import json as _json
+    import time as _time
+
+    from repro.serve import SnapshotError
+    from repro.serve.snapshot import inspect_snapshot
+
+    path = args.file
+    if os.path.isdir(path):
+        path = os.path.join(path, SNAPSHOT_FILENAME)
+    try:
+        info = inspect_snapshot(path)
+    except SnapshotError as exc:
+        print(f"error: snapshot rejected: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    created = _time.strftime(
+        "%Y-%m-%d %H:%M:%S", _time.localtime(info["created_unix"])
+    )
+    print(f"snapshot {path}")
+    print(f"  version: {info['version']}  created: {created} "
+          f"({info['age_seconds']:.0f}s ago)")
+    print(f"  templates: {info['templates']} "
+          f"({info['open_breakers']} open breaker(s))")
+    for tier, count in sorted(info["tiers"].items()):
+        print(f"    tier {tier}: {count}")
+    print(f"  feedback observations: {info['feedback']}")
+    return 0
+
+
 def cmd_dash(args: argparse.Namespace) -> int:
     """The loadgen run as a live terminal dashboard."""
     import asyncio as _asyncio
@@ -717,6 +781,7 @@ def cmd_dash(args: argparse.Namespace) -> int:
             run_load(service, phases, progress=dashboard.update)
         )
     finally:
+        service.close()
         if server is not None:
             server.stop()
     _write_trace(args, tracer)
@@ -967,6 +1032,25 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--breaker", type=int, default=3,
                        help="consecutive drift failures that trip an entry's "
                             "circuit breaker (default: 3)")
+        p.add_argument("--pool-workers", type=int, default=0,
+                       help="optimizer-pool subprocesses for the full/anytime "
+                            "tiers; 0 optimizes in-loop (default: 0)")
+        p.add_argument("--pool-timeout", type=float, default=30.0,
+                       help="seconds a pooled optimization may take before "
+                            "its worker is killed as hung (default: 30)")
+        p.add_argument("--respawn-budget", type=int, default=3,
+                       help="pool-worker respawns allowed before the pool "
+                            "degrades to the heuristic tier (default: 3)")
+        p.add_argument("--quarantine-strikes", type=int, default=3,
+                       help="pool crashes/hangs that quarantine a template "
+                            "to the heuristic tier; 0 disables (default: 3)")
+        p.add_argument("--snapshot-dir", metavar="DIR",
+                       help="keep a warm-restart snapshot of the plan/"
+                            "feedback caches in DIR (loaded on start, "
+                            "written on stop)")
+        p.add_argument("--snapshot-every", type=int, default=0,
+                       help="also snapshot every N handled requests "
+                            "(default: 0 = only on stop)")
 
     def _telemetry_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--sample", type=int, default=16,
@@ -1096,6 +1180,16 @@ def main(argv: list[str] | None = None) -> int:
                       help="append frames instead of repainting in place "
                            "(log-friendly)")
     dash.set_defaults(fn=cmd_dash)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="validate and summarize a warm-restart snapshot file",
+    )
+    snapshot.add_argument("file",
+                          help="snapshot file, or a --snapshot-dir directory")
+    snapshot.add_argument("--json", action="store_true",
+                          help="print the summary as JSON instead of text")
+    snapshot.set_defaults(fn=cmd_snapshot)
 
     args = parser.parse_args(argv)
     try:

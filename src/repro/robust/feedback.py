@@ -149,3 +149,22 @@ class FeedbackCache:
 
     def entries(self) -> dict[PlanKey, float]:
         return dict(self._observed)
+
+    def restore(self, observed: dict[PlanKey, float]) -> int:
+        """Adopt snapshot observations (oldest first), respecting capacity.
+
+        Counters are untouched — a restore is warm-up, not estimator
+        traffic (the same contract as :meth:`peek`)."""
+        count = 0
+        for key, value in observed.items():
+            if key in self._observed:
+                del self._observed[key]
+            elif (
+                self.capacity is not None
+                and len(self._observed) >= self.capacity
+            ):
+                oldest = next(iter(self._observed))
+                del self._observed[oldest]
+            self._observed[key] = float(value)
+            count += 1
+        return count

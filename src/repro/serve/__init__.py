@@ -16,7 +16,17 @@ overload-tolerant service:
 * :mod:`repro.serve.http` — :class:`MetricsServer`, the stdlib
   ``/metrics`` (OpenMetrics) + ``/healthz`` scrape endpoint;
 * :mod:`repro.serve.dash` — the terminal dashboard behind
-  ``repro dash``, refreshed from the load generator's progress hook.
+  ``repro dash``, refreshed from the load generator's progress hook;
+* :mod:`repro.serve.pool` — :class:`OptimizerPool`, the supervised
+  out-of-process optimization pool: per-request wall-clock timeouts,
+  crash detection, respawn-with-priming under a bounded budget, and
+  seeded chaos injection (:class:`PoolChaos`);
+* :mod:`repro.serve.quarantine` — :class:`TemplateQuarantine`,
+  K-strike/TTL-decayed quarantine of poison templates to the heuristic
+  tier;
+* :mod:`repro.serve.snapshot` — versioned, checksummed, atomically
+  written warm-restart snapshots of the plan-template and feedback
+  caches.
 
 Telemetry (experiment E16) threads through all of it: every request
 carries a :class:`~repro.obs.telemetry.TraceContext`, latency flows into
@@ -44,15 +54,25 @@ from repro.serve.loadgen import (
     generate,
     run_load,
 )
+from repro.serve.pool import (
+    OptimizerPool,
+    PoolChaos,
+    PoolConfig,
+    PoolResult,
+    PoolStats,
+)
+from repro.serve.quarantine import QuarantineStats, TemplateQuarantine
 from repro.serve.service import (
     ALL_TIERS,
     PLAN_TIERS,
     TIER_ANYTIME,
     TIER_CACHED,
     TIER_ERROR,
+    TIER_EXPIRED,
     TIER_FULL,
     TIER_HEURISTIC,
     TIER_REJECTED,
+    TIER_SHUTDOWN,
     TIER_STALE,
     OptimizerService,
     Request,
@@ -60,6 +80,14 @@ from repro.serve.service import (
     ServiceConfig,
     ServiceReport,
     percentile,
+)
+from repro.serve.snapshot import (
+    Snapshot,
+    SnapshotError,
+    inspect_snapshot,
+    load_snapshot,
+    restore_snapshot,
+    save_snapshot,
 )
 
 __all__ = [
@@ -69,6 +97,19 @@ __all__ = [
     "TemplateCacheStats",
     "TemplateEntry",
     "OptimizerService",
+    "OptimizerPool",
+    "PoolChaos",
+    "PoolConfig",
+    "PoolResult",
+    "PoolStats",
+    "QuarantineStats",
+    "TemplateQuarantine",
+    "Snapshot",
+    "SnapshotError",
+    "inspect_snapshot",
+    "load_snapshot",
+    "restore_snapshot",
+    "save_snapshot",
     "ServiceConfig",
     "ServiceReport",
     "Request",
@@ -83,6 +124,8 @@ __all__ = [
     "TIER_STALE",
     "TIER_REJECTED",
     "TIER_ERROR",
+    "TIER_EXPIRED",
+    "TIER_SHUTDOWN",
     "LoadSpec",
     "Template",
     "Phase",

@@ -270,6 +270,33 @@ class PlanTemplateCache:
             self.metrics.inc("serve.cache.invalidations")
         return True
 
+    # -- persistence ---------------------------------------------------------
+
+    def entries(self) -> list[TemplateEntry]:
+        """Entries in LRU order, oldest first — the snapshot payload."""
+        return list(self._entries.values())
+
+    def restore(self, entries) -> int:
+        """Adopt snapshot entries (oldest first), respecting capacity.
+
+        A restore is warm-up, not traffic: the stats counters stay
+        untouched, so a restarted service's hit rate measures only what
+        happens after the restart.  Entries beyond capacity evict LRU
+        exactly as live inserts would.
+        """
+        if not self.enabled:
+            return 0
+        count = 0
+        for entry in entries:
+            if entry.key in self._entries:
+                del self._entries[entry.key]
+            elif len(self._entries) >= self.capacity:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[entry.key] = entry
+            count += 1
+        return count
+
     # -- internals -----------------------------------------------------------
 
     def _touch(self, entry: TemplateEntry) -> None:

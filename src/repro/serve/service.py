@@ -20,7 +20,13 @@ that produced it:
 5. **stale** — a cached plan whose band or drift guard failed, served
    knowingly because shedding is worse;
 6. **rejected** — admission control: the bounded queue is full and the
-   request is shed with an explicit response, *before* queuing.
+   request is shed with an explicit response, *before* queuing;
+7. **expired** — the request's wall-clock deadline had already passed
+   when a worker dequeued it: shed at dequeue instead of spending
+   optimizer budget on an answer nobody is waiting for;
+8. **shutdown** — the service stopped (``stop(drain=False)``) while the
+   request was still queued, or the request was submitted after stop;
+   resolved explicitly, never dropped.
 
 Tiers 3–5 are chosen by current load (queue depth over
 ``queue_limit``), the request's remaining deadline, and — when SLOs are
@@ -50,28 +56,53 @@ The service is single-loop asyncio: workers interleave with admission
 but optimizations themselves run inline, so behavior under a
 deterministic request schedule is reproducible — what the E15 overload
 gates rely on.
+
+**Crash safety** (experiment E17) is opt-in by configuration: with
+``pool_workers > 0`` the full and anytime tiers dispatch to a supervised
+:class:`~repro.serve.pool.OptimizerPool` of worker subprocesses — a
+crashed or hung optimization costs one respawn, never the service; the
+request fails over to the in-loop heuristic tier.  Templates that keep
+killing workers are quarantined by :class:`~repro.serve.quarantine.
+TemplateQuarantine` and served heuristically without touching the pool.
+With ``snapshot_path`` set, the plan-template and feedback caches are
+snapshotted atomically (periodically and on stop) and restored on
+construction, so a restarted service starts warm; a corrupt or
+version-skewed snapshot file cold-starts, never crashes (see
+:mod:`repro.serve.snapshot`).
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
 from repro.config import OptimizerConfig
 from repro.cost.model import CostWeights
+from repro.errors import ReproError
 from repro.obs.flight import FlightRecord, FlightRecorder
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.slo import SLOMonitor
 from repro.obs.telemetry import TelemetryConfig, TraceContext, TraceSampler
 from repro.obs.trace import Tracer, active_tracer
+from repro.optimizer.batch import BatchSpec
 from repro.optimizer.optimizer import StarburstOptimizer
 from repro.query.parser import parse_query
 from repro.query.query import QueryBlock
+from repro.query.template import query_template
 from repro.robust.budget import OptimizerBudget
 from repro.robust.feedback import FeedbackCache
 from repro.serve.cache import PlanTemplateCache
+from repro.serve.pool import OptimizerPool, PoolChaos, PoolConfig
+from repro.serve.quarantine import TemplateQuarantine
+from repro.serve.snapshot import (
+    SnapshotError,
+    load_snapshot,
+    restore_snapshot,
+    save_snapshot,
+)
 from repro.stars.ast import RuleSet
 
 TIER_CACHED = "cached"
@@ -81,10 +112,13 @@ TIER_HEURISTIC = "heuristic"
 TIER_STALE = "stale"
 TIER_REJECTED = "rejected"
 TIER_ERROR = "error"
+TIER_EXPIRED = "expired"
+TIER_SHUTDOWN = "shutdown"
 
 #: Tiers that deliver a plan, best first — the degradation ladder.
 PLAN_TIERS = (TIER_CACHED, TIER_FULL, TIER_ANYTIME, TIER_HEURISTIC, TIER_STALE)
-ALL_TIERS = PLAN_TIERS + (TIER_REJECTED, TIER_ERROR)
+ALL_TIERS = PLAN_TIERS + (TIER_REJECTED, TIER_ERROR, TIER_EXPIRED,
+                          TIER_SHUTDOWN)
 
 
 @dataclass(frozen=True)
@@ -119,12 +153,32 @@ class ServiceConfig:
     heuristic_deadline: int = 200
     #: Serve tripped/banded-out cached plans under extreme load.
     allow_stale: bool = True
+    #: Optimizer-pool subprocesses for the full/anytime tiers (0 = run
+    #: optimizations in-loop, PR 6 behavior).
+    pool_workers: int = 0
+    #: Wall-clock seconds a pooled optimization may take before its
+    #: worker is declared hung and killed.
+    pool_timeout: float = 30.0
+    #: Worker respawns allowed over the pool's lifetime.
+    pool_respawn_budget: int = 3
+    #: Pool crashes/hangs that quarantine a template (0 disables).
+    quarantine_strikes: int = 3
+    #: Base quarantine length, in requests observed by the service.
+    quarantine_ttl: int = 64
+    #: Snapshot file for warm restarts (None disables snapshotting).
+    snapshot_path: str | None = None
+    #: Requests between periodic snapshots (0 = only on stop).
+    snapshot_every: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
+        if self.pool_workers < 0:
+            raise ValueError("pool_workers must be >= 0")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -136,6 +190,9 @@ class Request:
     #: Remaining logical-tick deadline (None = no deadline).  Propagated
     #: into the optimizer budget's ``deadline_ticks``.
     deadline_ticks: int | None = None
+    #: Wall-clock deadline in seconds from admission (None = none).  A
+    #: request still queued past it is shed at dequeue (``expired``).
+    deadline_seconds: float | None = None
     #: Optional label (the load generator tags its template) — reporting
     #: only, never part of any cache key.
     template: str | None = None
@@ -169,6 +226,14 @@ class Response:
     drift_q: float | None = None
     #: STAR references the optimization consumed (0 for cached/heuristic).
     budget_expansions: int = 0
+    #: Whether the optimization ran in a pool worker subprocess.
+    pooled: bool = False
+    #: Pool failure this request survived (``crash`` / ``timeout`` /
+    #: ``degraded``), None when the pool behaved.
+    pool_failure: str | None = None
+    #: Whether the template was quarantined (served heuristically,
+    #: pool untouched).
+    quarantined: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -191,6 +256,9 @@ class ServiceReport:
     feedback: dict[str, float] = field(default_factory=dict)
     slo: dict[str, dict[str, float]] = field(default_factory=dict)
     flight_dumps: int = 0
+    pool: dict[str, float] = field(default_factory=dict)
+    quarantine: dict[str, float] = field(default_factory=dict)
+    snapshot: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -206,6 +274,9 @@ class ServiceReport:
             "feedback": dict(self.feedback),
             "slo": {name: dict(state) for name, state in self.slo.items()},
             "flight_dumps": self.flight_dumps,
+            "pool": dict(self.pool),
+            "quarantine": dict(self.quarantine),
+            "snapshot": dict(self.snapshot),
         }
 
     def summary(self) -> str:
@@ -236,6 +307,28 @@ class ServiceReport:
             )
         if self.flight_dumps:
             lines.append(f"  flight dumps: {self.flight_dumps}")
+        if self.pool:
+            lines.append(
+                f"  pool: {self.pool.get('completed', 0):.0f}/"
+                f"{self.pool.get('dispatched', 0):.0f} completed, "
+                f"{self.pool.get('crashes', 0):.0f} crash(es), "
+                f"{self.pool.get('timeouts', 0):.0f} timeout(s), "
+                f"{self.pool.get('respawns', 0):.0f} respawn(s)"
+            )
+        if self.quarantine.get("quarantines", 0):
+            lines.append(
+                f"  quarantine: {self.quarantine.get('active', 0):.0f} "
+                f"active, {self.quarantine.get('quarantines', 0):.0f} "
+                f"total, {self.quarantine.get('served', 0):.0f} served "
+                "heuristically"
+            )
+        if self.snapshot:
+            lines.append(
+                f"  snapshot: loaded={bool(self.snapshot.get('loaded'))}, "
+                f"{self.snapshot.get('saves', 0):.0f} save(s), "
+                f"{self.snapshot.get('templates_restored', 0):.0f} "
+                "template(s) restored"
+            )
         return "\n".join(lines)
 
 
@@ -274,6 +367,7 @@ class OptimizerService:
         metrics: MetricsRegistry | None = None,
         feedback: FeedbackCache | None = None,
         telemetry: TelemetryConfig | None = None,
+        pool_chaos: PoolChaos | None = None,
     ):
         self.config = service if service is not None else ServiceConfig()
         self.telemetry = (
@@ -327,28 +421,120 @@ class OptimizerService:
         self.rejections = 0
         self.errors = 0
         self.max_queue_depth = 0
+        #: True between a stop() and the next start(): submits are shed
+        #: with ``shutdown`` responses instead of raising.
+        self._stopped = False
+        # -- crash safety (E17): pool, quarantine, snapshots ---------------
+        #: The picklable worker spec — what primes (and re-primes) every
+        #: pool worker subprocess.
+        self._spec = BatchSpec(
+            catalog=catalog, rules=rules, config=config, weights=weights,
+        )
+        self._pool_chaos = pool_chaos
+        self.pool: OptimizerPool | None = None
+        self._pool_seq = 0
+        #: Final pool stats, preserved across close() for reporting.
+        self._last_pool_stats: dict[str, float] = {}
+        self.quarantine = TemplateQuarantine(
+            strikes=self.config.quarantine_strikes,
+            ttl=self.config.quarantine_ttl,
+            metrics=self.metrics, tracer=self.tracer,
+        )
+        self._since_snapshot = 0
+        self.snapshot_saves = 0
+        self.snapshot_save_failures = 0
+        #: Whether construction restored state from a snapshot file.
+        self.snapshot_loaded = False
+        #: Why the last snapshot load fell back to cold start, if it did.
+        self.snapshot_error: str | None = None
+        self.templates_restored = 0
+        self.feedback_restored = 0
+        self._load_snapshot()
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        """Spin up the worker pool (idempotent)."""
+        """Spin up the worker coroutines (idempotent).
+
+        The optimizer pool (``pool_workers > 0``) is created lazily on
+        the first start and then *persists across stop()* — respawn
+        budgets and quarantine state are pool-lifetime properties, and
+        ``serve_all`` starts/stops the asyncio side per call.  Use
+        :meth:`close` to shut the pool down for good.
+        """
         if self._workers:
             return
+        if (
+            self.config.pool_workers > 0
+            and self.pool is None
+        ):
+            self.pool = OptimizerPool(
+                self._spec,
+                PoolConfig(
+                    workers=self.config.pool_workers,
+                    request_timeout=self.config.pool_timeout,
+                    respawn_budget=self.config.pool_respawn_budget,
+                ),
+                chaos=self._pool_chaos,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+        self._stopped = False
         self._queue = asyncio.Queue()
         self._workers = [
             asyncio.create_task(self._worker())
             for _ in range(self.config.workers)
         ]
 
-    async def stop(self) -> None:
-        """Drain the queue, then stop every worker."""
+    async def stop(self, drain: bool = True) -> None:
+        """Stop every worker; snapshot if configured.
+
+        ``drain=True`` (the default) finishes every queued request
+        first.  ``drain=False`` is the bounded-time restart path: still-
+        queued requests are shed with explicit ``shutdown`` responses —
+        only optimizations already in flight finish.  Either way the
+        service ends stopped, with a fresh snapshot on disk when
+        ``snapshot_path`` is set.
+        """
         if not self._workers:
             return
+        shed: list = []
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self._queue.task_done()
+                if item is not None:
+                    shed.append(item)
         for _ in self._workers:
             self._queue.put_nowait(None)
         await asyncio.gather(*self._workers)
         self._workers = []
         self._queue = None
+        self._stopped = True
+        for request, ctx, future, admitted, depth in shed:
+            response = self._shutdown_response(request, ctx)
+            response.queue_depth = depth
+            response.elapsed_seconds = time.perf_counter() - admitted
+            if not future.done():
+                future.set_result(response)
+        if self.config.snapshot_path:
+            self.save_snapshot()
+
+    def close(self) -> None:
+        """Release out-of-process resources (the optimizer pool).
+
+        Separate from :meth:`stop` on purpose: ``serve_all`` stops and
+        restarts the asyncio side per call, and the pool must survive
+        that.  Safe to call repeatedly; a later :meth:`start` re-creates
+        the pool.
+        """
+        if self.pool is not None:
+            self._last_pool_stats = self.pool.stats.as_dict()
+            self.pool.close()
+            self.pool = None
 
     async def __aenter__(self) -> "OptimizerService":
         await self.start()
@@ -367,8 +553,20 @@ class OptimizerService:
         with an explicit rejected response and nothing is enqueued — the
         queue length is bounded by construction.  Every request — even a
         shed one — gets a :class:`TraceContext` with a deterministic id.
+
+        After :meth:`stop` the service is not gone, just stopped:
+        submits resolve immediately with an explicit ``shutdown``
+        response (a rejection, not an exception) until the next
+        :meth:`start`.  Submitting to a *never-started* service is still
+        a programming error and raises.
         """
         if self._queue is None:
+            if self._stopped:
+                loop = asyncio.get_running_loop()
+                future = loop.create_future()
+                response = self._shutdown_response(request, None)
+                future.set_result(response)
+                return future
             raise RuntimeError("service is not started (use start()/serve_all)")
         loop = asyncio.get_running_loop()
         future: asyncio.Future[Response] = loop.create_future()
@@ -407,6 +605,36 @@ class OptimizerService:
         self.metrics.set_gauge("serve.queue_depth_max", self.max_queue_depth)
         return future
 
+    def _shutdown_response(
+        self, request: Request, ctx: TraceContext | None
+    ) -> Response:
+        """An explicit shed-for-shutdown response (counted as rejection).
+
+        ``ctx`` is None for post-stop submits (a context is minted here
+        so ids stay dense); queue-shed requests arrive with the context
+        admission minted.
+        """
+        if ctx is None:
+            seq = self.requests
+            self.requests += 1
+            ctx = TraceContext(
+                request_id=f"req-{seq:06d}", seq=seq, tenant=request.tenant,
+                template=request.template, sampled=False,
+            )
+            self.metrics.inc("serve.requests")
+        self.rejections += 1
+        self._count_tier(TIER_SHUTDOWN)
+        self.metrics.inc("serve.shutdown")
+        if self.tracer is not None:
+            with self.tracer.context(**ctx.trace_args()):
+                self.tracer.instant("serve", "shutdown_shed")
+        return Response(
+            ok=False, tier=TIER_SHUTDOWN, tenant=request.tenant,
+            rejected=True, template=request.template,
+            request_id=ctx.request_id, sampled=ctx.sampled,
+            error="service stopped",
+        )
+
     async def request(self, request: Request) -> Response:
         """Submit one request and await its response."""
         return await self.submit_nowait(request)
@@ -435,6 +663,89 @@ class OptimizerService:
 
         return asyncio.run(_run())
 
+    # -- snapshots -----------------------------------------------------------
+
+    def _load_snapshot(self) -> None:
+        """Restore caches from ``snapshot_path`` at construction.
+
+        Missing file = first boot = silent cold start.  An *invalid*
+        file (corrupt, truncated, version-skewed) is counted and
+        remembered on ``snapshot_error`` — and the service cold-starts;
+        a bad snapshot may cost warm-up, never availability.
+        """
+        path = self.config.snapshot_path
+        if not path or not os.path.exists(path):
+            return
+        try:
+            snapshot = load_snapshot(path)
+        except SnapshotError as exc:
+            self.snapshot_error = str(exc)
+            self.metrics.inc("snapshot.load_failures")
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "serve", "snapshot_load_failed", error=str(exc)
+                )
+            return
+        self.templates_restored, self.feedback_restored = restore_snapshot(
+            snapshot, self.cache, self.feedback
+        )
+        self.snapshot_loaded = True
+        self.metrics.inc("snapshot.loads")
+        self.metrics.set_gauge(
+            "snapshot.templates_restored", self.templates_restored
+        )
+        self.metrics.set_gauge(
+            "snapshot.feedback_restored", self.feedback_restored
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                "serve", "snapshot_loaded",
+                templates=self.templates_restored,
+                feedback=self.feedback_restored,
+            )
+
+    def save_snapshot(self) -> bool:
+        """Write the configured snapshot now; False on failure.
+
+        A failed save (disk full, permissions) is counted and swallowed
+        — snapshotting is an optimization, never a reason to take the
+        service down.
+        """
+        path = self.config.snapshot_path
+        if not path:
+            return False
+        try:
+            save_snapshot(path, self.cache, self.feedback)
+        except OSError as exc:
+            self.snapshot_save_failures += 1
+            self.metrics.inc("snapshot.save_failures")
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "serve", "snapshot_save_failed", error=str(exc)
+                )
+            return False
+        self._since_snapshot = 0
+        self.snapshot_saves += 1
+        self.metrics.inc("snapshot.saves")
+        return True
+
+    def _maybe_snapshot(self) -> None:
+        """Periodic snapshotting, counted in requests handled."""
+        if not self.config.snapshot_path or self.config.snapshot_every <= 0:
+            return
+        self._since_snapshot += 1
+        if self._since_snapshot >= self.config.snapshot_every:
+            self.save_snapshot()
+
+    def _snapshot_report(self) -> dict[str, float]:
+        return {
+            "loaded": float(self.snapshot_loaded),
+            "saves": float(self.snapshot_saves),
+            "save_failures": float(self.snapshot_save_failures),
+            "templates_restored": float(self.templates_restored),
+            "feedback_restored": float(self.feedback_restored),
+        }
+
     # -- reporting -----------------------------------------------------------
 
     def report(self) -> ServiceReport:
@@ -452,6 +763,15 @@ class OptimizerService:
             feedback=self.feedback.as_dict(),
             slo=self._slo.status(),
             flight_dumps=self.flight.dumps if self.flight is not None else 0,
+            pool=(
+                self.pool.stats.as_dict()
+                if self.pool is not None else dict(self._last_pool_stats)
+            ),
+            quarantine=self.quarantine.as_dict(),
+            snapshot=(
+                self._snapshot_report()
+                if self.config.snapshot_path else {}
+            ),
         )
 
     # -- the worker ----------------------------------------------------------
@@ -463,7 +783,22 @@ class OptimizerService:
                 self._queue.task_done()
                 return
             request, ctx, future, admitted, depth = item
+            if (
+                request.deadline_seconds is not None
+                and time.perf_counter() - admitted
+                >= request.deadline_seconds
+            ):
+                # Expired in queue: nobody is waiting for this answer —
+                # shed it instead of spending optimizer budget.
+                response = self._expired_response(request, ctx)
+                response.queue_depth = depth
+                response.elapsed_seconds = time.perf_counter() - admitted
+                if not future.done():
+                    future.set_result(response)
+                self._queue.task_done()
+                continue
             breaker_before = self.cache.stats.breaker_trips
+            quarantines_before = self.quarantine.stats.quarantines
             try:
                 response = self._handle(request, ctx)
             except Exception as exc:  # safety net: requests never die unhandled
@@ -481,10 +816,33 @@ class OptimizerService:
             self.metrics.observe(
                 "serve.latency_seconds", response.elapsed_seconds
             )
-            self._finish_telemetry(request, ctx, response, breaker_before)
+            self._finish_telemetry(
+                request, ctx, response, breaker_before, quarantines_before
+            )
             if not future.done():
                 future.set_result(response)
             self._queue.task_done()
+            self._maybe_snapshot()
+
+    def _expired_response(
+        self, request: Request, ctx: TraceContext
+    ) -> Response:
+        """The expired-in-queue shed: explicit, counted, distinct."""
+        self.rejections += 1
+        self._count_tier(TIER_EXPIRED)
+        self.metrics.inc("serve.expired")
+        if self.tracer is not None:
+            with self.tracer.context(**ctx.trace_args()):
+                self.tracer.instant(
+                    "serve", "expired",
+                    deadline_seconds=request.deadline_seconds,
+                )
+        return Response(
+            ok=False, tier=TIER_EXPIRED, tenant=request.tenant,
+            rejected=True, template=request.template,
+            request_id=ctx.request_id, sampled=ctx.sampled,
+            error="deadline expired in queue",
+        )
 
     def _finish_telemetry(
         self,
@@ -492,6 +850,7 @@ class OptimizerService:
         ctx: TraceContext,
         response: Response,
         breaker_before: int,
+        quarantines_before: int = 0,
     ) -> None:
         """Post-response telemetry: error instants, SLOs, flight recorder."""
         if not self.telemetry.enabled:
@@ -535,6 +894,10 @@ class OptimizerService:
             triggers.append("breaker_trip")
         if response.budget_exhausted and request.deadline_ticks is not None:
             triggers.append("deadline_exceeded")
+        if self.quarantine.stats.quarantines > quarantines_before:
+            # A template just entered quarantine: dump the last-K context
+            # so the poison request stream is on disk for triage.
+            triggers.append("quarantine")
         triggers.extend(f"slo:{name}" for name in newly_violated)
         if triggers:
             self._dump_flight("+".join(triggers))
@@ -619,6 +982,7 @@ class OptimizerService:
     def _plan(
         self, request: Request, query: QueryBlock, ctx: TraceContext
     ) -> Response:
+        self.quarantine.tick()
         entry = self.cache.lookup(query)
         if entry is not None:
             self._note_tier(ctx, TIER_CACHED)
@@ -642,8 +1006,58 @@ class OptimizerService:
                 )
             tier = TIER_HEURISTIC  # nothing cached to go stale on
         expansions = 0
+        budget_exhausted = False
+        pooled = False
+        pool_failure: str | None = None
+        quarantined = False
+        if (
+            self.pool is not None
+            and tier in (TIER_FULL, TIER_ANYTIME)
+            and self.quarantine.is_quarantined(query_template(query))
+        ):
+            # A quarantined template never reaches the pool: its query
+            # still gets a plan, from the in-loop heuristic path.
+            quarantined = True
+            self.quarantine.served(query_template(query))
+            tier = TIER_HEURISTIC
         if tier == TIER_HEURISTIC:
             result = self.optimizer.optimize_heuristic(query)
+            plan, best_cost = result.best_plan, result.best_cost
+        elif self.pool is not None:
+            outcome_pool = self.pool.optimize(
+                query, seq=self._next_pool_seq(),
+                template=request.template,
+                limits=self._budget_limits(request, tier),
+            )
+            pooled = True
+            if outcome_pool.failure == "error":
+                # The worker's optimizer raised a ReproError — the same
+                # error the in-loop path would raise; surface it so the
+                # standard error-response safety net labels it.
+                raise ReproError(outcome_pool.error or "pool optimization failed")
+            if outcome_pool.ok:
+                plan, best_cost = outcome_pool.plan, outcome_pool.best_cost
+                expansions = outcome_pool.expansions
+                budget_exhausted = outcome_pool.budget_exhausted
+                if budget_exhausted:
+                    tier = TIER_ANYTIME
+                if not outcome_pool.heuristic_fallback:
+                    self.cache.insert(query, plan, best_cost, tier=tier)
+            else:
+                # crash / timeout / degraded: strike the template (the
+                # first two only) and fail over to the in-loop heuristic
+                # tier — a pool failure never fails the request.
+                pool_failure = outcome_pool.failure
+                if pool_failure in ("crash", "timeout"):
+                    self.quarantine.strike(query_template(query))
+                self.metrics.inc("serve.pool_fallbacks")
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "serve", "pool_fallback", failure=pool_failure
+                    )
+                result = self.optimizer.optimize_heuristic(query)
+                plan, best_cost = result.best_plan, result.best_cost
+                tier = TIER_HEURISTIC
         else:
             budget = self._tenant_budget(request, tier)
             self.optimizer.budget = budget
@@ -652,7 +1066,8 @@ class OptimizerService:
             finally:
                 self.optimizer.budget = None
             expansions = budget.expansions
-            if result.budget_exhausted:
+            budget_exhausted = result.budget_exhausted
+            if budget_exhausted:
                 # The search was cut short — label the answer honestly,
                 # whatever tier admission picked.
                 tier = TIER_ANYTIME
@@ -660,13 +1075,16 @@ class OptimizerService:
                 self.cache.insert(
                     query, result.best_plan, result.best_cost, tier=tier
                 )
+            plan, best_cost = result.best_plan, result.best_cost
         self._note_tier(ctx, tier)
         return Response(
             ok=True, tier=tier, tenant=request.tenant,
-            plan_digest=result.best_plan.digest, best_cost=result.best_cost,
-            budget_exhausted=result.budget_exhausted,
+            plan_digest=plan.digest, best_cost=best_cost,
+            budget_exhausted=budget_exhausted,
             template=request.template,
             cache_outcome=outcome, budget_expansions=expansions,
+            pooled=pooled, pool_failure=pool_failure,
+            quarantined=quarantined,
         )
 
     def _note_tier(self, ctx: TraceContext, tier: str) -> None:
@@ -696,6 +1114,22 @@ class OptimizerService:
             return TIER_ANYTIME
         return TIER_FULL
 
+    def _budget_limits(
+        self, request: Request, tier: str
+    ) -> tuple[int | None, int | None, int | None]:
+        """``(max_expansions, max_plans, deadline_ticks)`` for this
+        request's tier — the budget *shape*, shared by the in-loop path
+        (via :meth:`_tenant_budget`) and the pool path (workers rebuild
+        a budget from the shape; budget objects never cross the pipe).
+        """
+        cfg = self.config
+        deadline = request.deadline_ticks
+        if tier == TIER_ANYTIME:
+            deadline = min(
+                d for d in (deadline, cfg.anytime_ticks) if d is not None
+            )
+        return (cfg.full_expansions, cfg.full_plans, deadline)
+
     def _tenant_budget(self, request: Request, tier: str) -> OptimizerBudget:
         """The tenant's reusable budget, shaped for this request's tier.
 
@@ -706,16 +1140,15 @@ class OptimizerService:
         budget = self._budgets.get(request.tenant)
         if budget is None:
             budget = self._budgets[request.tenant] = OptimizerBudget()
-        cfg = self.config
-        budget.max_expansions = cfg.full_expansions
-        budget.max_plans = cfg.full_plans
-        deadline = request.deadline_ticks
-        if tier == TIER_ANYTIME:
-            deadline = min(
-                d for d in (deadline, cfg.anytime_ticks) if d is not None
-            )
-        budget.deadline_ticks = deadline
+        limits = self._budget_limits(request, tier)
+        budget.max_expansions, budget.max_plans, budget.deadline_ticks = limits
         return budget
+
+    def _next_pool_seq(self) -> int:
+        """Monotone pool-dispatch sequence (the chaos RNG key)."""
+        seq = self._pool_seq
+        self._pool_seq += 1
+        return seq
 
     def tenant_budget(self, tenant: str) -> OptimizerBudget | None:
         """The tenant's budget object (None before its first budgeted

@@ -1,0 +1,103 @@
+"""Poison-template quarantine: strikes, TTL decay, escalation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.serve import TemplateQuarantine
+
+KEY = (("R0", "R1"), ())
+OTHER = (("R2",), ())
+
+
+class TestStrikes:
+    def test_quarantines_on_kth_strike(self):
+        q = TemplateQuarantine(strikes=3, ttl=10)
+        assert not q.strike(KEY)
+        assert not q.strike(KEY)
+        assert not q.is_quarantined(KEY)
+        assert q.strike(KEY)  # K-th strike: newly quarantined
+        assert q.is_quarantined(KEY)
+        assert len(q) == 1
+
+    def test_strikes_are_per_key(self):
+        q = TemplateQuarantine(strikes=2, ttl=10)
+        q.strike(KEY)
+        q.strike(OTHER)
+        assert not q.is_quarantined(KEY)
+        assert not q.is_quarantined(OTHER)
+        q.strike(KEY)
+        assert q.is_quarantined(KEY)
+        assert not q.is_quarantined(OTHER)
+
+    def test_strikes_while_quarantined_do_not_requarantine(self):
+        q = TemplateQuarantine(strikes=1, ttl=10)
+        assert q.strike(KEY)
+        assert not q.strike(KEY)
+        assert q.stats.quarantines == 1
+
+    def test_disabled_never_quarantines(self):
+        q = TemplateQuarantine(strikes=0)
+        assert not q.enabled
+        for _ in range(10):
+            assert not q.strike(KEY)
+        assert not q.is_quarantined(KEY)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemplateQuarantine(strikes=-1)
+        with pytest.raises(ValueError):
+            TemplateQuarantine(ttl=0)
+
+
+class TestDecay:
+    def test_ttl_expires_after_n_ticks(self):
+        q = TemplateQuarantine(strikes=1, ttl=3)
+        q.strike(KEY)
+        for _ in range(2):
+            q.tick()
+            assert q.is_quarantined(KEY)
+        q.tick()
+        assert not q.is_quarantined(KEY)
+        assert q.stats.expirations == 1
+
+    def test_expiry_resets_strike_count(self):
+        q = TemplateQuarantine(strikes=2, ttl=1)
+        q.strike(KEY)
+        q.strike(KEY)
+        q.tick()
+        assert not q.is_quarantined(KEY)
+        # A fresh offense needs K strikes again, not one.
+        assert not q.strike(KEY)
+        assert q.strike(KEY)
+
+    def test_reoffense_doubles_ttl(self):
+        q = TemplateQuarantine(strikes=1, ttl=2)
+        q.strike(KEY)
+        q.tick(), q.tick()
+        assert not q.is_quarantined(KEY)
+        q.strike(KEY)  # second offense: TTL 4
+        for _ in range(3):
+            q.tick()
+            assert q.is_quarantined(KEY)
+        q.tick()
+        assert not q.is_quarantined(KEY)
+
+
+class TestAccounting:
+    def test_metrics_and_stats(self):
+        metrics = MetricsRegistry()
+        q = TemplateQuarantine(strikes=1, ttl=2, metrics=metrics)
+        q.strike(KEY)
+        q.served(KEY)
+        q.tick(), q.tick()
+        snapshot = metrics.snapshot()
+        assert snapshot["quarantine.strikes"] == 1
+        assert snapshot["serve.quarantined"] == 1
+        assert snapshot["quarantine.served"] == 1
+        assert snapshot["quarantine.expirations"] == 1
+        assert snapshot["quarantine.active"] == 0
+        stats = q.as_dict()
+        assert stats["quarantines"] == 1
+        assert stats["active"] == 0

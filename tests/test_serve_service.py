@@ -221,3 +221,145 @@ class TestErrorHandling:
         service = _service(workload)
         with pytest.raises(RuntimeError):
             service.submit_nowait(Request(SQL))
+
+
+class TestCrashSafety:
+    """E17 integration: expired shedding, fast shutdown, pool routing."""
+
+    def test_expired_in_queue_is_shed_distinctly(self, workload):
+        import asyncio
+
+        from repro.serve import TIER_EXPIRED
+
+        async def drive():
+            service = _service(workload, workers=1)
+            async with service:
+                future = service.submit_nowait(
+                    Request(SQL, deadline_seconds=0.0)
+                )
+                return service, await future
+
+        service, response = asyncio.run(drive())
+        assert not response.ok
+        assert response.rejected
+        assert response.tier == TIER_EXPIRED
+        assert service.metrics.snapshot()["serve.expired"] == 1
+
+    def test_fast_stop_resolves_queued_with_shutdown(self, workload):
+        import asyncio
+
+        from repro.serve import TIER_SHUTDOWN
+
+        async def drive():
+            service = _service(workload, workers=1)
+            await service.start()
+            futures = [service.submit_nowait(Request(SQL)) for _ in range(5)]
+            await service.stop(drain=False)
+            return service, await asyncio.gather(*futures)
+
+        service, responses = asyncio.run(drive())
+        shed = [r for r in responses if r.tier == TIER_SHUTDOWN]
+        assert shed, "fast stop should shed still-queued requests"
+        for response in shed:
+            assert not response.ok
+            assert response.rejected
+        # Accounting invariant: every response is ok, rejected, or error.
+        assert all(r.ok or r.rejected or r.tier == "error" for r in responses)
+
+    def test_submit_after_stop_returns_shutdown_response(self, workload):
+        import asyncio
+
+        from repro.serve import TIER_SHUTDOWN
+
+        async def drive():
+            service = _service(workload)
+            async with service:
+                pass  # started, drained, stopped
+            return await service.submit_nowait(Request(SQL))
+
+        response = asyncio.run(drive())
+        assert not response.ok
+        assert response.rejected
+        assert response.tier == TIER_SHUTDOWN
+
+    def test_pooled_full_tier_round_trips(self, workload):
+        service = _service(workload, pool_workers=1)
+        try:
+            responses = service.serve_all([Request(SQL), Request(SQL)])
+            assert [r.tier for r in responses] == [TIER_FULL, TIER_CACHED]
+            assert responses[0].pooled
+            assert not responses[1].pooled  # cache hits skip the pool
+            assert responses[0].plan_digest == responses[1].plan_digest
+        finally:
+            service.close()
+
+    def test_pool_matches_inline_plans(self, workload):
+        inline = _service(workload)
+        [inline_response] = inline.serve_all([Request(SQL)])
+        pooled = _service(workload, pool_workers=1)
+        try:
+            [pooled_response] = pooled.serve_all([Request(SQL)])
+        finally:
+            pooled.close()
+        assert pooled_response.plan_digest == inline_response.plan_digest
+        assert pooled_response.best_cost == pytest.approx(
+            inline_response.best_cost
+        )
+
+    def test_crash_fails_over_and_quarantines(self, workload):
+        from repro.serve import PoolChaos
+
+        chaos = PoolChaos(
+            seed=11, poison_templates=frozenset({"poison"}),
+            poison_action="crash",
+        )
+        service = OptimizerService(
+            workload.catalog,
+            service=ServiceConfig(
+                workers=1, queue_limit=8, pool_workers=1,
+                pool_respawn_budget=8, quarantine_strikes=2,
+                cache_capacity=0,
+            ),
+            pool_chaos=chaos,
+        )
+        try:
+            responses = service.serve_all(
+                [Request(SQL, template="poison") for _ in range(4)], burst=1
+            )
+            # Every request still resolves with a plan.
+            assert all(r.ok and r.tier == TIER_HEURISTIC for r in responses)
+            assert [r.pool_failure for r in responses] == [
+                "crash", "crash", None, None
+            ]
+            assert [r.quarantined for r in responses] == [
+                False, False, True, True
+            ]
+            # Quarantined requests never touched the pool.
+            assert service.pool.stats.dispatched == 2
+            assert service.metrics.snapshot()["serve.quarantined"] == 1
+        finally:
+            service.close()
+
+    def test_pool_survives_serve_all_restarts(self, workload):
+        service = _service(workload, pool_workers=1)
+        try:
+            [first] = service.serve_all([Request(SQL)])
+            pool = service.pool
+            [second] = service.serve_all([Request(SQL_B)])
+            assert service.pool is pool  # same pool across stop/start
+            assert first.ok and second.ok
+        finally:
+            service.close()
+
+    def test_periodic_snapshots(self, workload, tmp_path):
+        path = str(tmp_path / "periodic.jsonl")
+        service = _service(
+            workload, workers=1, snapshot_path=path, snapshot_every=2
+        )
+        service.serve_all(
+            [Request(SQL), Request(SQL_B), Request(SQL), Request(SQL_B)],
+            burst=1,
+        )
+        # 4 handled requests / every 2 = 2 periodic + 1 on stop.
+        assert service.snapshot_saves == 3
+        assert service.metrics.snapshot()["snapshot.saves"] == 3
