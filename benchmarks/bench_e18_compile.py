@@ -1,0 +1,439 @@
+"""E18 — STAR rule compilation: AST → closures, interpreter as oracle.
+
+PR 4 (E13) removed redundant *work* from the optimizer hot path; this
+experiment measures PR 9 removing redundant *dispatch*: every STAR's
+conditions, ``where`` bindings, REQUIRED specs, and alternative terms
+are lowered to Python closures once per RuleSet
+(:mod:`repro.stars.compile`), with the AST interpreter retained as the
+semantics oracle.
+
+* **Part A — parity.**  The load-bearing gate: with ``compile_stars``
+  toggled on vs off, every paper workload (paper, paper-distributed,
+  chain/star/clique) and the E13 chain suite must produce a
+  byte-identical chosen-plan digest, an identical cost, and an identical
+  *full alternatives* digest set.  Compilation must be invisible in the
+  answers.
+* **Part B — expression dispatch.**  A representative rule-expression
+  mix (set algebra, comparisons, boolean connectives, registry calls
+  over parameters) evaluated compiled vs interpreted.  This isolates
+  the dispatch layer the compiler attacks; gate from
+  ``benchmarks/baselines.json`` (``min_expr_eval_speedup``).
+* **Part C — end-to-end single query.**  Best-of-N optimize wall time
+  over the E13 chain suite, compiled vs interpreted (memo + intern +
+  prune on in both — the honest comparison).  Expression dispatch is a
+  few percent of optimize wall time (plan construction and costing
+  dominate), so the aggregate gate is a *non-regression floor*
+  (``min_single_query_speedup``), with the measured speedup recorded.
+* **Part D — serving non-regression.**  E15's warm-cache throughput
+  with compilation on vs off (``min_warm_throughput_ratio``): the
+  compiled path must not tax the serving layer.
+
+Also checked: the builtin rule sets (base/extended/all) compile with
+**zero interpreter fallbacks** (what ``validate --strict`` enforces) and
+the compiler actually folds constants.  Results are written to
+``BENCH_e18.json``.  ``--smoke`` runs scaled-down workloads for CI
+(same gates).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench import Table, banner
+from repro.config import OptimizerConfig
+from repro.optimizer import StarburstOptimizer
+from repro.serve import LoadSpec, OptimizerService, ServiceConfig, generate
+from repro.stars.ast import (
+    Call,
+    Compare,
+    Const,
+    Logical,
+    Negate,
+    Param,
+    SetExpr,
+    SetLiteral,
+)
+from repro.stars.builtin_rules import default_rules, extended_rules
+from repro.stars.compile import compile_expr, compile_rules, uncompilable_sites
+from repro.stars.engine import StarEngine
+from repro.stars.registry import FunctionRegistry, default_registry
+from repro.workloads import (
+    chain_workload,
+    clique_workload,
+    figure1_query,
+    paper_catalog,
+    star_workload,
+)
+
+HERE = Path(__file__).resolve().parent
+OUTPUT = HERE.parent / "BENCH_e18.json"
+BASELINES = HERE / "baselines.json"
+
+#: E13's shared-subplan workload family (chain joins, fixed seed).
+E9_ROWS = 50
+E9_SEED = 31
+
+
+def _baselines() -> dict:
+    return json.loads(BASELINES.read_text())["e18"]
+
+
+def _optimize(catalog, query, compile_stars: bool):
+    config = OptimizerConfig(compile_stars=compile_stars)
+    optimizer = StarburstOptimizer(catalog, config=config)
+    started = time.perf_counter()
+    result = optimizer.optimize(query)
+    return result, time.perf_counter() - started
+
+
+def _paper_workloads():
+    """The test_hotpath suite: every shape, exhaustible sizes."""
+    local = paper_catalog()
+    distributed = paper_catalog(distributed=True)
+    chain = chain_workload(3, rows=30, seed=31)
+    star = star_workload(3, rows=30, seed=31)
+    clique = clique_workload(3, rows=30, seed=31)
+    return [
+        ("paper", local, figure1_query(local)),
+        ("paper-distributed", distributed, figure1_query(distributed)),
+        ("chain:3", chain.catalog, chain.query),
+        ("star:3", star.catalog, star.query),
+        ("clique:3", clique.catalog, clique.query),
+    ]
+
+
+# -- Part A: parity ------------------------------------------------------------
+
+
+def bench_parity(chain_sizes: tuple[int, ...]) -> dict:
+    """Compiled vs interpreted: identical chosen plan, cost, and full
+    alternatives set on every workload."""
+    workloads = list(_paper_workloads())
+    for n in chain_sizes:
+        wl = chain_workload(n, rows=E9_ROWS, seed=E9_SEED)
+        workloads.append((f"e13-chain:{n}", wl.catalog, wl.query))
+
+    per_workload = {}
+    for name, catalog, query in workloads:
+        on, _ = _optimize(catalog, query, compile_stars=True)
+        off, _ = _optimize(catalog, query, compile_stars=False)
+        digests_on = sorted(p.digest for p in on.alternatives)
+        digests_off = sorted(p.digest for p in off.alternatives)
+        per_workload[name] = {
+            "best_plan_identical": on.best_plan.digest == off.best_plan.digest,
+            "best_cost_identical": abs(on.best_cost - off.best_cost) < 1e-12,
+            "alternatives_identical": digests_on == digests_off,
+            "best_plan": on.best_plan.digest,
+            "best_cost": on.best_cost,
+            "alternatives": len(digests_on),
+            "compiled_star_evals": on.stats.compiled_star_evals,
+        }
+        if off.stats.compiled_star_evals != 0:
+            raise AssertionError(
+                f"{name}: interpreter run used the compiled path"
+            )
+    identical = all(
+        row["best_plan_identical"]
+        and row["best_cost_identical"]
+        and row["alternatives_identical"]
+        for row in per_workload.values()
+    )
+    return {
+        "workloads": len(per_workload),
+        "identical": identical,
+        "per_workload": per_workload,
+    }
+
+
+# -- Part B: expression dispatch ----------------------------------------------
+
+
+def bench_expr_eval(rounds: int) -> dict:
+    """Representative rule expressions, compiled closures vs the
+    interpreter's isinstance walk, over one live engine."""
+    catalog = paper_catalog()
+    query = figure1_query(catalog)
+    registry = default_registry()
+    registry.register("e18_pair", lambda ctx, a, b: frozenset({a, b}))
+    rules = extended_rules()
+    engine = StarEngine(
+        rules, catalog, query, registry=registry,
+        config=OptimizerConfig(compile_stars=False),
+    )
+
+    exprs = [
+        Logical("and", (
+            Compare("!=", Param("SP"), Const(frozenset())),
+            Compare("<=", Param("SP"), Param("P")),
+            Negate(Compare("==", Param("T1"), Param("T2"))),
+        )),
+        SetExpr("-", SetExpr("|", Param("P"), Param("SP")),
+                SetLiteral((Const(1), Const(2)))),
+        Compare("in", Const("x"), SetExpr("&", Param("P"), Param("P"))),
+        Call("e18_pair", (Param("T1"), Param("T2"))),
+        Logical("or", (
+            Compare("==", Const(1), Const(2)),
+            Compare("in", Param("T1"), Param("P")),
+        )),
+    ]
+    params = ("T1", "T2", "P", "SP")
+    env_dict = {
+        "T1": "EMP", "T2": "DEPT",
+        "P": frozenset({"x", "y", 1}), "SP": frozenset({"x"}),
+    }
+    env_list = [env_dict[p] for p in params]
+    compiled = [
+        compile_expr(e, params, rules, registry)[0] for e in exprs
+    ]
+
+    # parity first, then timing (warm both paths in the process)
+    for expr, fn in zip(exprs, compiled):
+        if engine._eval_expr(expr, env_dict) != fn(engine, env_list):
+            raise AssertionError(f"expression diverged: {expr}")
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for expr in exprs:
+            engine._eval_expr(expr, env_dict)
+    interpreted = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for fn in compiled:
+            fn(engine, env_list)
+    compiled_s = time.perf_counter() - started
+
+    return {
+        "expressions": len(exprs),
+        "rounds": rounds,
+        "interpreted_seconds": interpreted,
+        "compiled_seconds": compiled_s,
+        "speedup": interpreted / compiled_s if compiled_s else float("inf"),
+    }
+
+
+# -- Part C: end-to-end single query ------------------------------------------
+
+
+def bench_single_query(sizes: tuple[int, ...], repeats: int) -> dict:
+    """Best-of-N optimize wall time over the chain suite, compiled vs
+    interpreted, all other hot-path layers on in both."""
+    per_workload = {}
+    total_on = total_off = 0.0
+    for n in sizes:
+        wl = chain_workload(n, rows=E9_ROWS, seed=E9_SEED)
+        best = {}
+        for flag in (True, False):
+            optimizer = StarburstOptimizer(
+                wl.catalog, config=OptimizerConfig(compile_stars=flag)
+            )
+            optimizer.optimize(wl.query)  # warm-up (compile + caches)
+            times = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                optimizer.optimize(wl.query)
+                times.append(time.perf_counter() - started)
+            best[flag] = min(times)
+        total_on += best[True]
+        total_off += best[False]
+        per_workload[f"chain:{n}"] = {
+            "compiled_seconds": best[True],
+            "interpreted_seconds": best[False],
+            "speedup": best[False] / best[True] if best[True] else float("inf"),
+        }
+    return {
+        "repeats": repeats,
+        "per_workload": per_workload,
+        "compiled_seconds": total_on,
+        "interpreted_seconds": total_off,
+        "speedup": total_off / total_on if total_on else float("inf"),
+    }
+
+
+# -- Part D: serving non-regression -------------------------------------------
+
+
+def bench_serving(smoke: bool) -> dict:
+    """E15's warm-throughput path with compilation on vs off."""
+    count = 40 if smoke else 120
+    spec = LoadSpec(wild_fraction=0.0, deadline_fraction=0.0)
+    workload, requests = generate(spec, count)
+    burst = 4
+
+    def warm_rps(compile_stars: bool) -> float:
+        """Best of three warm passes — single passes are noisy enough
+        (thread scheduling, 40-request smoke batches) to swamp the
+        effect under measurement."""
+        service = OptimizerService(
+            workload.catalog,
+            config=OptimizerConfig(compile_stars=compile_stars),
+            service=ServiceConfig(workers=2, queue_limit=64),
+        )
+        service.serve_all(requests, burst=burst)  # priming pass
+        best = 0.0
+        for _ in range(3):
+            started = time.perf_counter()
+            responses = service.serve_all(requests, burst=burst)
+            elapsed = time.perf_counter() - started
+            assert all(r.ok for r in responses)
+            rps = len(responses) / elapsed if elapsed else float("inf")
+            best = max(best, rps)
+        return best
+
+    rps_off = warm_rps(False)
+    rps_on = warm_rps(True)
+    return {
+        "requests": count,
+        "warm_rps_compiled": rps_on,
+        "warm_rps_interpreted": rps_off,
+        "throughput_ratio": rps_on / rps_off if rps_off else float("inf"),
+    }
+
+
+# -- compile health ------------------------------------------------------------
+
+
+def bench_compile_health() -> dict:
+    """The builtin repertoires must lower completely: zero fallbacks,
+    some constants folded, call targets bound statically."""
+    registry = default_registry()
+    sets = {
+        "base": default_rules(),
+        "extended": extended_rules(),
+        "all": extended_rules(
+            tid_sort=True, or_index=True, and_index=True, semijoin=True
+        ),
+    }
+    per_set = {}
+    for name, rules in sets.items():
+        program = compile_rules(rules, registry)
+        per_set[name] = {
+            "stars_compiled": program.stats.stars_compiled,
+            "constant_folds": program.stats.constant_folds,
+            "static_calls": program.stats.static_calls,
+            "star_refs_bound": program.stats.star_refs_bound,
+            "fallbacks": program.stats.fallbacks,
+            "fallback_sites": list(uncompilable_sites(rules, registry)),
+            "compile_seconds": program.stats.compile_seconds,
+        }
+    clean = all(
+        row["fallbacks"] == 0 and not row["fallback_sites"]
+        for row in per_set.values()
+    )
+    folds = all(row["constant_folds"] > 0 for row in per_set.values())
+    return {"per_set": per_set, "clean": clean, "constant_folds": folds}
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def run_experiment(smoke: bool = False) -> str:
+    gates = _baselines()
+    parity = bench_parity((3, 4) if smoke else (3, 4, 5, 6))
+    expr = bench_expr_eval(rounds=4000 if smoke else 20000)
+    single = bench_single_query(
+        (3, 4) if smoke else (3, 4, 5), repeats=2 if smoke else 3
+    )
+    serving = bench_serving(smoke)
+    health = bench_compile_health()
+
+    checks = {
+        "parity": parity["identical"],
+        "expr_eval": expr["speedup"] >= gates["min_expr_eval_speedup"],
+        "single_query": single["speedup"] >= gates["min_single_query_speedup"],
+        "serving": (
+            serving["throughput_ratio"] >= gates["min_warm_throughput_ratio"]
+        ),
+        "builtin_rules_compile_clean": health["clean"],
+        "constant_folding": health["constant_folds"],
+    }
+    ok = all(checks.values())
+
+    payload = {
+        "smoke": smoke,
+        "gates": gates,
+        "parity": parity,
+        "expr_eval": expr,
+        "single_query": single,
+        "serving": serving,
+        "compile_health": health,
+        "checks": checks,
+        "ok": ok,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    table = Table(["measurement", "value", "gate", "verdict"])
+    table.add(
+        f"plan parity ({parity['workloads']} workloads, on vs off)",
+        "identical" if parity["identical"] else "DIVERGED",
+        "byte-identical",
+        "pass" if checks["parity"] else "FAIL",
+    )
+    table.add(
+        "expression dispatch speedup",
+        f"{expr['speedup']:.2f}x",
+        f">= {gates['min_expr_eval_speedup']}x",
+        "pass" if checks["expr_eval"] else "FAIL",
+    )
+    table.add(
+        "single-query wall time (chain suite)",
+        f"{single['speedup']:.3f}x",
+        f">= {gates['min_single_query_speedup']}x",
+        "pass" if checks["single_query"] else "FAIL",
+    )
+    table.add(
+        "warm serving throughput (on/off)",
+        f"{serving['throughput_ratio']:.2f}x",
+        f">= {gates['min_warm_throughput_ratio']}x",
+        "pass" if checks["serving"] else "FAIL",
+    )
+    table.add(
+        "builtin rules: interpreter fallbacks",
+        str(sum(r["fallbacks"] for r in health["per_set"].values())),
+        "== 0",
+        "pass" if checks["builtin_rules_compile_clean"] else "FAIL",
+    )
+
+    lines = [
+        banner(
+            "E18 — STAR rule compilation: AST → closures, interpreter as oracle",
+            "Every STAR lowered to Python closures once per RuleSet: "
+            "static call dispatch, slot environments, constant folding.  "
+            "Parity is the load-bearing gate — toggling compile_stars "
+            "must be invisible in every chosen plan and alternative set.",
+        ),
+        str(table),
+        f"machine-readable results: {OUTPUT.name}",
+        "",
+        "RESULT: "
+        + ("COMPILE GATES PASS" if ok else "COMPILE GATES FAIL"),
+    ]
+    return "\n".join(lines)
+
+
+def test_e18_compile(benchmark, report):
+    text = benchmark.pedantic(
+        lambda: run_experiment(smoke=True), rounds=1, iterations=1
+    )
+    report(text)
+    assert "COMPILE GATES PASS" in text
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="scaled-down workloads for CI (same gates)",
+    )
+    args = parser.parse_args()
+    text = run_experiment(smoke=args.smoke)
+    print(text)
+    return 0 if "COMPILE GATES PASS" in text else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,15 @@ class OptimizerConfig:
     #: once.  Off only for A/B measurement (E13).
     intern_plans: bool = True
 
+    #: Compile each STAR's alternatives, conditions, ``where`` bindings
+    #: and REQUIRED specs into Python closures once per RuleSet (hot-path
+    #: layer 4, :mod:`repro.stars.compile`): call targets bound
+    #: statically, parameter lookups become slot reads, constant subtrees
+    #: folded.  The AST interpreter stays available as the semantics
+    #: oracle — toggling this flag never changes a chosen plan (E18).
+    #: Off only for A/B measurement and differential tests.
+    compile_stars: bool = True
+
     #: Safety limit on STAR expansion depth (a DBC-authored rule cycle
     #: fails fast instead of recursing forever).
     max_depth: int = 64

@@ -19,7 +19,10 @@ This package implements:
   written in the DSL;
 * a rule-set validator (:mod:`repro.stars.validate`) addressing the
   paper's open issue "how to verify that any given set of STARs is
-  correct".
+  correct";
+* the rule compiler (:mod:`repro.stars.compile`) — every STAR lowered to
+  Python closures once per RuleSet, with the interpreter retained as the
+  parity oracle (toggle :attr:`OptimizerConfig.compile_stars`).
 """
 
 from repro.stars.ast import (
@@ -37,6 +40,14 @@ from repro.stars.ast import (
     StarDef,
     StarRef,
 )
+from repro.stars.compile import (
+    CompiledRuleSet,
+    CompiledStar,
+    CompileStats,
+    compile_expr,
+    compile_rules,
+    uncompilable_sites,
+)
 from repro.stars.dsl import parse_rules
 from repro.stars.engine import ExpansionStats, RuleContext, StarEngine
 from repro.stars.glue import Glue
@@ -48,6 +59,9 @@ __all__ = [
     "Alternative",
     "Call",
     "Compare",
+    "CompileStats",
+    "CompiledRuleSet",
+    "CompiledStar",
     "Const",
     "ExpansionStats",
     "ForAll",
@@ -64,8 +78,11 @@ __all__ = [
     "StarDef",
     "StarEngine",
     "StarRef",
+    "compile_expr",
+    "compile_rules",
     "default_registry",
     "parse_rules",
     "rule_function",
+    "uncompilable_sites",
     "validate_rules",
 ]

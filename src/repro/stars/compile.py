@@ -1,0 +1,650 @@
+"""The STAR rule compiler: AST → Python closures, once per RuleSet.
+
+The paper's STARs are *pure* functional rules ("grammar-like functional
+rules", section 2), which makes them ideal compilation targets: nothing
+in a condition, ``where`` binding, REQUIRED spec, or alternative term
+depends on anything but the rule environment and the (immutable within
+one expansion) context.  The interpreter in :mod:`repro.stars.engine`
+nevertheless re-walks the AST with an isinstance chain on every
+evaluation of every reference.  This module removes that interpretive
+overhead the same way PR 5's ``batch_ops`` removed it for executor
+predicates — compile once, call closures forever:
+
+* **Static dispatch.**  Call targets are resolved at compile time: a
+  name is classified once as STAR / Glue / LOLEPOP / registry function
+  and the closure captures the :class:`StarDef` or the registry callable
+  directly, instead of re-asking ``ctx.rules.has()`` per evaluation.
+* **Slot environments.**  ``Param`` lookups become positional reads of a
+  list environment: parameters take slots ``0..n-1``, ``where`` bindings
+  the next slots, and each ``∀`` variable a fresh slot of its own (so
+  shadowing compiles away instead of costing a dict copy per iteration).
+* **Constant folding.**  Pure ``Const``/``SetLiteral`` compositions —
+  set algebra, comparisons, boolean connectives over literals, and fully
+  literal REQUIRED specs — are evaluated once at compile time.
+* **Interpreter fallback.**  Anything the compiler cannot classify (a
+  call to a name in no registry, an unknown node type) compiles to a
+  closure that rebuilds a dict environment and delegates to the
+  interpreter, so compiled and interpreted rule sets always agree on
+  semantics — including on the errors they raise.  Fallback sites are
+  counted (:class:`CompileStats`) and surfaced as validation warnings.
+
+Every closure has the signature ``fn(engine, env) -> value`` where
+``engine`` is the live :class:`~repro.stars.engine.StarEngine` and
+``env`` is the slot list.  Plan-producing work still flows through the
+engine's own ``_expand_star`` / ``_call_glue`` / ``_call_lolepop``, so
+memoization keys, budget charging, tracing, and statistics are shared
+verbatim with the interpreter — the compiled path only replaces the
+expression/term *dispatch*, never the plan construction underneath.
+
+Programs are cached per RuleSet (weakly) keyed by the rule-set version
+and the registry's function fingerprint, so ``compile_rules`` is free
+after the first call; mutating a RuleSet (``add``/``replace``/
+``extend``) invalidates the cache.  A program snapshots the rule set it
+was built from: engines verify per-STAR that the definition they are
+expanding is the one that was compiled, and fall back to the interpreter
+otherwise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+from weakref import WeakKeyDictionary
+
+from repro.errors import RuleError
+from repro.obs.metrics import stats_snapshot
+from repro.plans.operators import LOLEPOPS
+from repro.plans.properties import Requirements
+from repro.plans.sap import SAP, Stream
+from repro.stars.ast import (
+    Alternative,
+    Argument,
+    Call,
+    Compare,
+    Const,
+    ForAll,
+    Logical,
+    Negate,
+    Param,
+    RequiredSpec,
+    RuleExpr,
+    RuleSet,
+    SetExpr,
+    SetLiteral,
+    StarDef,
+    StarRef,
+    Term,
+)
+from repro.stars.engine import _as_sap, _as_set, _compare
+from repro.stars.registry import FunctionRegistry
+
+#: Sentinel for "this subtree is not a compile-time constant".
+_NOT_CONST = object()
+
+#: Closure signature shared by every compiled expression and term.
+ClosureFn = Callable[..., Any]
+
+
+@dataclass
+class CompileStats:
+    """What one ``compile_rules`` run did (and how often it was reused)."""
+
+    stars_compiled: int = 0
+    exprs_compiled: int = 0
+    constant_folds: int = 0
+    static_calls: int = 0
+    star_refs_bound: int = 0
+    lolepop_refs_bound: int = 0
+    glue_refs_bound: int = 0
+    fallbacks: int = 0
+    cache_hits: int = 0
+    compile_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Serialize through the shared metrics-snapshot path."""
+        return stats_snapshot(self)
+
+
+class CompiledAlternative:
+    """One lowered alternative: an optional condition closure + a term
+    closure.  ``condition`` is None for unconditional / OTHERWISE
+    alternatives, mirroring ``_alternative_applies``."""
+
+    __slots__ = ("condition", "term")
+
+    def __init__(self, condition: ClosureFn | None, term: ClosureFn):
+        self.condition = condition
+        self.term = term
+
+
+class CompiledStar:
+    """One STAR lowered to closures over a slot environment."""
+
+    __slots__ = ("name", "star", "n_params", "extra_slots", "bindings",
+                 "alternatives", "exclusive")
+
+    def __init__(
+        self,
+        star: StarDef,
+        n_slots: int,
+        bindings: tuple[tuple[int, ClosureFn], ...],
+        alternatives: tuple[CompiledAlternative, ...],
+    ):
+        self.name = star.name
+        self.star = star
+        self.n_params = len(star.params)
+        self.extra_slots = n_slots - self.n_params
+        self.bindings = bindings
+        self.alternatives = alternatives
+        self.exclusive = star.exclusive
+
+    def evaluate(self, engine, args: tuple) -> SAP:
+        """The compiled twin of ``_eval_alternatives`` (plus binding
+        evaluation): same stats, same limit/exclusive semantics, same
+        result — just without the AST walk."""
+        env = list(args)
+        if self.extra_slots:
+            env.extend([None] * self.extra_slots)
+        for slot, fn in self.bindings:
+            env[slot] = fn(engine, env)
+        ctx = engine.ctx
+        stats = ctx.stats
+        limit = ctx.config.max_plans_per_reference
+        result = SAP()
+        for alt in self.alternatives:
+            if limit is not None and len(result) >= limit:
+                break
+            stats.alternatives_considered += 1
+            condition = alt.condition
+            if condition is not None:
+                stats.conditions_evaluated += 1
+                if not condition(engine, env):
+                    continue
+            result = result.union(alt.term(engine, env))
+            if self.exclusive:
+                break
+        return result
+
+
+@dataclass
+class CompiledRuleSet:
+    """Every STAR of one RuleSet, compiled; plus what the compiler
+    couldn't lower (``fallback_sites`` — surfaced by validation)."""
+
+    stars: dict[str, CompiledStar]
+    stats: CompileStats
+    fallback_sites: tuple[str, ...] = ()
+
+    def get(self, name: str) -> CompiledStar | None:
+        return self.stars.get(name)
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+
+class _StarCompiler:
+    """Compiles one STAR.  Holds the name→slot scope and the slot
+    high-water mark while walking the definition."""
+
+    def __init__(
+        self,
+        star: StarDef,
+        rules: RuleSet,
+        registry: FunctionRegistry,
+        stats: CompileStats,
+        fallback_sites: list[str],
+    ):
+        self.star = star
+        self.rules = rules
+        self.registry = registry
+        self.stats = stats
+        self.fallback_sites = fallback_sites
+        self.scope: dict[str, int] = {p: i for i, p in enumerate(star.params)}
+        self.n_slots = len(star.params)
+
+    def compile(self) -> CompiledStar:
+        bindings = []
+        for name, expr in self.star.bindings:
+            fn = self._expr(expr)
+            slot = self.n_slots
+            self.n_slots += 1
+            self.scope[name] = slot
+            bindings.append((slot, fn))
+        alternatives = []
+        for alt in self.star.alternatives:
+            condition = None
+            if not alt.otherwise and alt.condition is not None:
+                condition = self._expr(alt.condition)
+            alternatives.append(
+                CompiledAlternative(condition, self._term(alt.term))
+            )
+        self.stats.stars_compiled += 1
+        return CompiledStar(
+            self.star, self.n_slots, tuple(bindings), tuple(alternatives)
+        )
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expr(self, expr: RuleExpr) -> ClosureFn:
+        fn, _ = self._expr_const(expr)
+        return fn
+
+    def _expr_const(self, expr: RuleExpr) -> tuple[ClosureFn, Any]:
+        """Compile one expression; returns ``(closure, const)`` where
+        ``const`` is the compile-time value or ``_NOT_CONST``."""
+        self.stats.exprs_compiled += 1
+
+        if isinstance(expr, Const):
+            value = expr.value
+            return (lambda engine, env: value), value
+
+        if isinstance(expr, Param):
+            if expr.name not in self.scope:
+                # Parity with the interpreter's unbound-parameter error
+                # (validation reports this statically as well).
+                name = expr.name
+
+                def unbound(engine, env):
+                    raise RuleError(f"unbound rule parameter {name!r}")
+
+                return unbound, _NOT_CONST
+            slot = self.scope[expr.name]
+            return (lambda engine, env, _s=slot: env[_s]), _NOT_CONST
+
+        if isinstance(expr, Call):
+            return self._call(expr)
+
+        if isinstance(expr, SetLiteral):
+            compiled = [self._expr_const(i) for i in expr.items]
+            if all(c is not _NOT_CONST for _, c in compiled):
+                value = frozenset(c for _, c in compiled)
+                self.stats.constant_folds += 1
+                return (lambda engine, env: value), value
+            fns = tuple(fn for fn, _ in compiled)
+            return (
+                lambda engine, env: frozenset(f(engine, env) for f in fns)
+            ), _NOT_CONST
+
+        if isinstance(expr, SetExpr):
+            (lfn, lc) = self._expr_const(expr.left)
+            (rfn, rc) = self._expr_const(expr.right)
+            op = expr.op
+            if lc is not _NOT_CONST and rc is not _NOT_CONST:
+                try:
+                    ls, rs = _as_set(lc), _as_set(rc)
+                    value = ls | rs if op == "|" else ls & rs if op == "&" else ls - rs
+                except RuleError:
+                    pass  # non-set literal: keep the runtime error site
+                else:
+                    self.stats.constant_folds += 1
+                    return (lambda engine, env: value), value
+            if op == "|":
+                return (
+                    lambda engine, env: _as_set(lfn(engine, env)) | _as_set(rfn(engine, env))
+                ), _NOT_CONST
+            if op == "&":
+                return (
+                    lambda engine, env: _as_set(lfn(engine, env)) & _as_set(rfn(engine, env))
+                ), _NOT_CONST
+            return (
+                lambda engine, env: _as_set(lfn(engine, env)) - _as_set(rfn(engine, env))
+            ), _NOT_CONST
+
+        if isinstance(expr, Compare):
+            (lfn, lc) = self._expr_const(expr.left)
+            (rfn, rc) = self._expr_const(expr.right)
+            op = expr.op
+            if lc is not _NOT_CONST and rc is not _NOT_CONST:
+                try:
+                    value = _compare(op, lc, rc)
+                except (RuleError, TypeError):
+                    pass  # keep the runtime error site
+                else:
+                    self.stats.constant_folds += 1
+                    return (lambda engine, env: value), value
+            if op == "==":
+                return (
+                    lambda engine, env: lfn(engine, env) == rfn(engine, env)
+                ), _NOT_CONST
+            if op == "!=":
+                return (
+                    lambda engine, env: lfn(engine, env) != rfn(engine, env)
+                ), _NOT_CONST
+            if op == "in":
+                return (
+                    lambda engine, env: lfn(engine, env) in rfn(engine, env)
+                ), _NOT_CONST
+            return (
+                lambda engine, env: _compare(op, lfn(engine, env), rfn(engine, env))
+            ), _NOT_CONST
+
+        if isinstance(expr, Logical):
+            compiled = [self._expr_const(p) for p in expr.parts]
+            fns = tuple(fn for fn, _ in compiled)
+            if all(c is not _NOT_CONST for _, c in compiled):
+                values = [bool(c) for _, c in compiled]
+                value = all(values) if expr.op == "and" else any(values)
+                self.stats.constant_folds += 1
+                return (lambda engine, env: value), value
+            if expr.op == "and":
+                return (
+                    lambda engine, env: all(bool(f(engine, env)) for f in fns)
+                ), _NOT_CONST
+            return (
+                lambda engine, env: any(bool(f(engine, env)) for f in fns)
+            ), _NOT_CONST
+
+        if isinstance(expr, Negate):
+            (fn, c) = self._expr_const(expr.part)
+            if c is not _NOT_CONST:
+                value = not bool(c)
+                self.stats.constant_folds += 1
+                return (lambda engine, env: value), value
+            return (lambda engine, env: not bool(fn(engine, env))), _NOT_CONST
+
+        return self._fallback_expr(
+            expr, f"unknown expression node {type(expr).__name__}"
+        ), _NOT_CONST
+
+    def _call(self, expr: Call) -> tuple[ClosureFn, Any]:
+        """Call dispatch, resolved statically.  STARs shadow registry
+        functions, exactly like the interpreter's Call branch."""
+        name = expr.name
+        if self.rules.has(name) or name == "Glue" or name in LOLEPOPS:
+            ref = StarRef(name, tuple(Argument(a) for a in expr.args), flavor=None)
+            return self._star_ref(ref), _NOT_CONST
+        if self.registry.has(name):
+            fn = self.registry.get(name)
+            arg_fns = tuple(self._expr(a) for a in expr.args)
+            self.stats.static_calls += 1
+            if not arg_fns:
+                return (lambda engine, env: fn(engine.ctx)), _NOT_CONST
+            if len(arg_fns) == 1:
+                a0 = arg_fns[0]
+                return (
+                    lambda engine, env: fn(engine.ctx, a0(engine, env))
+                ), _NOT_CONST
+            if len(arg_fns) == 2:
+                a0, a1 = arg_fns
+                return (
+                    lambda engine, env: fn(engine.ctx, a0(engine, env), a1(engine, env))
+                ), _NOT_CONST
+            if len(arg_fns) == 3:
+                a0, a1, a2 = arg_fns
+                return (
+                    lambda engine, env: fn(
+                        engine.ctx, a0(engine, env), a1(engine, env), a2(engine, env)
+                    )
+                ), _NOT_CONST
+            return (
+                lambda engine, env: fn(
+                    engine.ctx, *[a(engine, env) for a in arg_fns]
+                )
+            ), _NOT_CONST
+        return self._fallback_expr(
+            expr, f"call to unregistered name {name!r}"
+        ), _NOT_CONST
+
+    # -- terms ------------------------------------------------------------------
+
+    def _term(self, term: Term | RuleExpr) -> ClosureFn:
+        if isinstance(term, StarRef):
+            return self._star_ref(term)
+        if isinstance(term, ForAll):
+            return self._forall(term)
+        if isinstance(term, RuleExpr):
+            fn = self._expr(term)
+            return lambda engine, env: _as_sap(fn(engine, env))
+        return self._fallback_term(
+            term, f"unknown term node {type(term).__name__}"
+        )
+
+    def _star_ref(self, ref: StarRef) -> ClosureFn:
+        arg_fns = tuple(self._argument(a) for a in ref.args)
+        name = ref.name
+        if name == "Glue":
+            self.stats.glue_refs_bound += 1
+            return lambda engine, env: engine._call_glue(
+                [f(engine, env) for f in arg_fns]
+            )
+        if name in LOLEPOPS:
+            flavor = ref.flavor
+            self.stats.lolepop_refs_bound += 1
+            return lambda engine, env: engine._call_lolepop(
+                name, flavor, [f(engine, env) for f in arg_fns]
+            )
+        if self.rules.has(name):
+            # The StarDef is captured here: the program is a snapshot of
+            # the rule set (mutations bump the version and recompile).
+            star = self.rules.get(name)
+            self.stats.star_refs_bound += 1
+            return lambda engine, env: engine._expand_star(
+                star, tuple(f(engine, env) for f in arg_fns)
+            )
+        return self._fallback_term(
+            ref, f"reference to undefined STAR {name!r}"
+        )
+
+    def _forall(self, term: ForAll) -> ClosureFn:
+        set_fn = self._expr(term.set_expr)
+        # A fresh slot per ∀ variable: shadowing an outer name rebinds the
+        # scope for the body only, and needs no env copy per iteration
+        # because nothing outside the body ever reads this slot.
+        slot = self.n_slots
+        self.n_slots += 1
+        outer = self.scope.get(term.var, None)
+        had = term.var in self.scope
+        self.scope[term.var] = slot
+        try:
+            body_fn = self._term(term.term)
+        finally:
+            if had:
+                self.scope[term.var] = outer
+            else:
+                del self.scope[term.var]
+
+        def forall(engine, env):
+            values = set_fn(engine, env)
+            stats = engine.ctx.stats
+            result = SAP()
+            for value in values:
+                stats.forall_iterations += 1
+                env[slot] = value
+                result = result.union(body_fn(engine, env))
+            return result
+
+        return forall
+
+    def _argument(self, arg: Argument) -> ClosureFn:
+        if isinstance(arg.value, Term):
+            value_fn = self._term(arg.value)
+        else:
+            value_fn = self._expr(arg.value)
+        spec = arg.required
+        if spec is None or spec.is_empty():
+            return value_fn
+        req_fn, req_const = self._required(spec)
+        if req_const is not None:
+            def apply_const(engine, env, _req=req_const):
+                value = value_fn(engine, env)
+                if isinstance(value, Stream):
+                    return value.require(_req)
+                if isinstance(value, SAP):
+                    return engine._glue_augment(value, _req)
+                raise RuleError(
+                    f"required properties {_req} attached to a non-stream "
+                    f"argument ({type(value).__name__})"
+                )
+
+            return apply_const
+
+        def apply(engine, env):
+            value = value_fn(engine, env)
+            req = req_fn(engine, env)
+            if isinstance(value, Stream):
+                return value.require(req)
+            if isinstance(value, SAP):
+                return engine._glue_augment(value, req)
+            raise RuleError(
+                f"required properties {req} attached to a non-stream "
+                f"argument ({type(value).__name__})"
+            )
+
+        return apply
+
+    def _required(
+        self, spec: RequiredSpec
+    ) -> tuple[ClosureFn | None, Requirements | None]:
+        """Compile a REQUIRED spec; fully literal specs (the common
+        ``[temp]`` / ``[site = 'X']`` decorations) fold to one
+        :class:`Requirements` built at compile time."""
+        order = self._expr_const(spec.order) if spec.order is not None else None
+        site = self._expr_const(spec.site) if spec.site is not None else None
+        paths = self._expr_const(spec.paths) if spec.paths is not None else None
+        temp = spec.temp
+        parts_const = all(
+            p is None or p[1] is not _NOT_CONST for p in (order, site, paths)
+        )
+        if parts_const:
+            try:
+                req = Requirements(
+                    order=tuple(order[1]) if order is not None else None,
+                    site=site[1] if site is not None else None,
+                    temp=temp,
+                    paths=tuple(paths[1]) if paths is not None else None,
+                )
+            except TypeError:
+                pass  # non-iterable literal: keep the runtime error site
+            else:
+                self.stats.constant_folds += 1
+                return None, req
+        order_fn = order[0] if order is not None else None
+        site_fn = site[0] if site is not None else None
+        paths_fn = paths[0] if paths is not None else None
+
+        def build(engine, env):
+            return Requirements(
+                order=tuple(order_fn(engine, env)) if order_fn is not None else None,
+                site=site_fn(engine, env) if site_fn is not None else None,
+                temp=temp,
+                paths=tuple(paths_fn(engine, env)) if paths_fn is not None else None,
+            )
+
+        return build, None
+
+    # -- interpreter fallback ---------------------------------------------------
+
+    def _dict_env(self) -> tuple[tuple[str, int], ...]:
+        return tuple(self.scope.items())
+
+    def _fallback_expr(self, expr: RuleExpr, reason: str) -> ClosureFn:
+        self._record_fallback(reason)
+        items = self._dict_env()
+
+        def run(engine, env):
+            return engine._eval_expr(expr, {n: env[s] for n, s in items})
+
+        return run
+
+    def _fallback_term(self, term: Term | RuleExpr, reason: str) -> ClosureFn:
+        self._record_fallback(reason)
+        items = self._dict_env()
+
+        def run(engine, env):
+            return engine._eval_term(term, {n: env[s] for n, s in items})
+
+        return run
+
+    def _record_fallback(self, reason: str) -> None:
+        self.stats.fallbacks += 1
+        self.fallback_sites.append(
+            f"STAR {self.star.name}: {reason} — no compiled fast path, "
+            f"interpreted at runtime"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+#: A placeholder alternative so :func:`compile_expr` can reuse
+#: _StarCompiler (StarDef refuses to exist with no alternatives).
+_PLACEHOLDER_ALT = Alternative(term=Const(value=frozenset()))
+
+#: RuleSet → {(version, registry fingerprint): CompiledRuleSet}.  Weak on
+#: the RuleSet so programs die with their rules; bounded per rule set.
+_CACHE: "WeakKeyDictionary[RuleSet, dict]" = WeakKeyDictionary()
+_CACHE_LIMIT = 8
+
+
+def compile_rules(rules: RuleSet, registry: FunctionRegistry) -> CompiledRuleSet:
+    """Compile (or fetch the cached program for) every STAR in ``rules``.
+
+    The cache key is the rule set's mutation version plus the registry's
+    function fingerprint — two registries holding the same function
+    objects under the same names (e.g. ``default_registry()`` copies)
+    share one program.
+    """
+    key = (getattr(rules, "_version", 0), registry.fingerprint())
+    per_rules = _CACHE.get(rules)
+    if per_rules is not None:
+        cached = per_rules.get(key)
+        if cached is not None:
+            cached.stats.cache_hits += 1
+            return cached
+    started = time.perf_counter()
+    stats = CompileStats()
+    fallback_sites: list[str] = []
+    stars = {
+        star.name: _StarCompiler(
+            star, rules, registry, stats, fallback_sites
+        ).compile()
+        for star in rules
+    }
+    stats.compile_seconds = time.perf_counter() - started
+    program = CompiledRuleSet(
+        stars=stars, stats=stats, fallback_sites=tuple(fallback_sites)
+    )
+    if per_rules is None:
+        per_rules = {}
+        _CACHE[rules] = per_rules
+    if len(per_rules) >= _CACHE_LIMIT:
+        per_rules.clear()
+    per_rules[key] = program
+    return program
+
+
+def compile_expr(
+    expr: RuleExpr,
+    params: tuple[str, ...],
+    rules: RuleSet | None = None,
+    registry: FunctionRegistry | None = None,
+) -> tuple[ClosureFn, int, CompileStats]:
+    """Compile one expression against a parameter list.
+
+    The unit used by differential tests and the E18 micro benchmark:
+    returns ``(closure, n_slots, stats)``; call the closure as
+    ``closure(engine, env)`` with ``env`` a list of ``n_slots`` values
+    whose first ``len(params)`` slots are the parameters in order.
+    """
+    stats = CompileStats()
+    compiler = _StarCompiler(
+        StarDef("<expr>", tuple(params), (_PLACEHOLDER_ALT,)),
+        rules if rules is not None else RuleSet(),
+        registry if registry is not None else FunctionRegistry(),
+        stats,
+        [],
+    )
+    fn = compiler._expr(expr)
+    return fn, compiler.n_slots, stats
+
+
+def uncompilable_sites(
+    rules: RuleSet, registry: FunctionRegistry
+) -> tuple[str, ...]:
+    """Where the compiler had to fall back to the interpreter — what
+    ``validate_rules`` surfaces as warnings (and ``--strict`` rejects)."""
+    return compile_rules(rules, registry).fallback_sites

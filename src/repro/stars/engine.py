@@ -92,6 +92,7 @@ class ExpansionStats:
     glue_references: int = 0
     forall_iterations: int = 0
     veneers_added: int = 0
+    compiled_star_evals: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Serialize through the shared metrics-snapshot path, so
@@ -201,6 +202,20 @@ class StarEngine:
         #: is off): engine-local, never shared across optimizations.
         self.memo: StarMemo | None = StarMemo() if config.memo_stars else None
         self._depth = 0
+        #: Compiled fast path (None when ``config.compile_stars`` is off):
+        #: the RuleSet's closures, fetched from (or built into) the
+        #: program cache — free after the first engine over a rule set.
+        self.compiled = None
+        if config.compile_stars:
+            from repro.stars.compile import compile_rules
+
+            self.compiled = compile_rules(rules, self.ctx.registry)
+        #: Call-site → resolved StarRef cache for the interpreter's
+        #: Call-to-STAR dispatch (avoids rebuilding the StarRef + Argument
+        #: tuple per evaluation); keyed by AST node identity, which is
+        #: stable for this engine's lifetime because ctx.rules owns the
+        #: nodes and outlives the engine.
+        self._call_refs: dict[int, StarRef] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -287,10 +302,22 @@ class StarEngine:
         self._depth += 1
         result: SAP | None = None
         try:
-            env: dict[str, Any] = dict(zip(star.params, args))
-            for bound, expr in star.bindings:
-                env[bound] = self._eval_expr(expr, env)
-            result = self._eval_alternatives(star, env)
+            compiled_star = None
+            if self.compiled is not None:
+                compiled_star = self.compiled.stars.get(star.name)
+                if compiled_star is not None and compiled_star.star is not star:
+                    # The rule set changed under a live engine (replace/
+                    # extend after construction): the program is a stale
+                    # snapshot for this STAR — use the oracle.
+                    compiled_star = None
+            if compiled_star is not None:
+                ctx.stats.compiled_star_evals += 1
+                result = compiled_star.evaluate(self, args)
+            else:
+                env: dict[str, Any] = dict(zip(star.params, args))
+                for bound, expr in star.bindings:
+                    env[bound] = self._eval_expr(expr, env)
+                result = self._eval_alternatives(star, env)
         finally:
             self._depth -= 1
             if tracer is not None:
@@ -625,9 +652,12 @@ class StarEngine:
                 or expr.name == "Glue"
                 or expr.name in LOLEPOPS
             ):
-                ref = StarRef(
-                    expr.name, tuple(Argument(a) for a in expr.args), flavor=None
-                )
+                ref = self._call_refs.get(id(expr))
+                if ref is None:
+                    ref = StarRef(
+                        expr.name, tuple(Argument(a) for a in expr.args), flavor=None
+                    )
+                    self._call_refs[id(expr)] = ref
                 return self._eval_star_ref(ref, env)
             fn = self.ctx.registry.get(expr.name)
             args = [self._eval_expr(a, env) for a in expr.args]

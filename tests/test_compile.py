@@ -1,0 +1,450 @@
+"""PR 9 rule compilation: AST → closures, interpreter as parity oracle.
+
+The load-bearing invariant, mirroring :mod:`tests.test_hotpath`: the
+compiled fast path must be *invisible* in the optimizer's answers — the
+same best plan, cost, and full alternatives set with
+``compile_stars`` on or off.  Expression-level parity is checked
+differentially with hypothesis over randomly generated typed
+expressions and environments.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import OptimizerConfig, StarburstOptimizer
+from repro.__main__ import main as cli_main
+from repro.errors import RuleError
+from repro.plans.sap import SAP
+from repro.stars.ast import (
+    Alternative,
+    Call,
+    Compare,
+    Const,
+    ForAll,
+    Logical,
+    Negate,
+    Param,
+    RuleSet,
+    SetExpr,
+    SetLiteral,
+    StarDef,
+)
+from repro.stars.builtin_rules import default_rules, extended_rules
+from repro.stars.compile import compile_expr, compile_rules, uncompilable_sites
+from repro.stars.engine import StarEngine
+from repro.stars.registry import default_registry
+from repro.stars.validate import validate_rules
+from repro.workloads import (
+    chain_workload,
+    clique_workload,
+    figure1_query,
+    paper_catalog,
+    star_workload,
+)
+
+
+def _workloads():
+    """Small paper-workload suite: every shape, exhaustible sizes."""
+    local = paper_catalog()
+    distributed = paper_catalog(distributed=True)
+    chain = chain_workload(3, rows=30, seed=31)
+    star = star_workload(3, rows=30, seed=31)
+    clique = clique_workload(3, rows=30, seed=31)
+    return [
+        ("paper", local, figure1_query(local)),
+        ("paper-distributed", distributed, figure1_query(distributed)),
+        ("chain:3", chain.catalog, chain.query),
+        ("star:3", star.catalog, star.query),
+        ("clique:3", clique.catalog, clique.query),
+    ]
+
+
+def _best(catalog, query, config=None):
+    return StarburstOptimizer(catalog, config=config).optimize(query)
+
+
+def _pick_registry():
+    """default_registry plus ``t_pick(key)``: a singleton SAP per key,
+    built from real plan nodes of the paper query."""
+    catalog = paper_catalog()
+    plans = list(_best(catalog, figure1_query(catalog)).alternatives)
+    assert len(plans) >= 2
+    by_key = {i: SAP([p]) for i, p in enumerate(plans[:2])}
+    registry = default_registry()
+    registry.register("t_pick", lambda ctx, key: by_key[key])
+    return registry
+
+
+def _pick_rules():
+    """A one-STAR rule set whose body is a pure registry call — small
+    enough to reason about staleness and dispatch caching directly."""
+    return RuleSet([
+        StarDef(
+            name="PickAll",
+            params=("K",),
+            alternatives=(Alternative(term=Call("t_pick", (Param("K"),))),),
+        )
+    ])
+
+
+def _engine(compile_stars=False, registry=None, rules=None):
+    catalog = paper_catalog()
+    return StarEngine(
+        rules if rules is not None else extended_rules(),
+        catalog,
+        figure1_query(catalog),
+        registry=registry,
+        config=OptimizerConfig(compile_stars=compile_stars),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Differential expression evaluation (hypothesis)
+# ---------------------------------------------------------------------------
+
+#: Fixed parameter frame for generated expressions: two scalar slots and
+#: two set slots, so Compare/SetExpr operands stay type-compatible.
+PARAMS = ("A", "B", "S", "T")
+
+_atoms = st.one_of(st.integers(-5, 5), st.sampled_from(["EMP", "DEPT", "x"]))
+_atom_exprs = st.one_of(
+    st.builds(Const, _atoms),
+    st.sampled_from([Param("A"), Param("B")]),
+)
+_set_values = st.frozensets(_atoms, max_size=4)
+_set_leaf = st.one_of(
+    st.builds(Const, _set_values),
+    st.sampled_from([Param("S"), Param("T")]),
+    st.builds(SetLiteral, st.tuples(_atom_exprs, _atom_exprs)),
+)
+_set_exprs = st.recursive(
+    _set_leaf,
+    lambda children: st.builds(
+        SetExpr, st.sampled_from(["|", "&", "-"]), children, children
+    ),
+    max_leaves=6,
+)
+_bool_leaf = st.one_of(
+    st.builds(Compare, st.sampled_from(["==", "!="]), _atom_exprs, _atom_exprs),
+    st.builds(
+        Compare,
+        st.sampled_from(["==", "!=", "<=", "<", ">=", ">"]),
+        _set_exprs,
+        _set_exprs,
+    ),
+    st.builds(Compare, st.just("in"), _atom_exprs, _set_exprs),
+)
+_bool_exprs = st.recursive(
+    _bool_leaf,
+    lambda children: st.one_of(
+        st.builds(
+            Logical,
+            st.sampled_from(["and", "or"]),
+            st.lists(children, min_size=2, max_size=3).map(tuple),
+        ),
+        st.builds(Negate, children),
+    ),
+    max_leaves=8,
+)
+_any_exprs = st.one_of(_bool_exprs, _set_exprs, _atom_exprs)
+_envs = st.fixed_dictionaries({
+    "A": _atoms, "B": _atoms, "S": _set_values, "T": _set_values,
+})
+
+
+class TestDifferentialExpressions:
+    """Compiled closure and interpreter agree on every generated
+    (expression, environment) pair — value parity, not just plan parity."""
+
+    engine = _engine()
+
+    @given(expr=_any_exprs, env=_envs)
+    @settings(max_examples=200, deadline=None)
+    def test_compiled_matches_interpreted(self, expr, env):
+        fn, n_slots, _ = compile_expr(expr, PARAMS)
+        assert n_slots == len(PARAMS)
+        env_list = [env[p] for p in PARAMS]
+        assert fn(self.engine, env_list) == self.engine._eval_expr(expr, env)
+
+    @given(env=_envs)
+    @settings(max_examples=20, deadline=None)
+    def test_registry_call_parity(self, env):
+        registry = default_registry()
+        registry.register("t_pair", lambda ctx, a, b: frozenset({a, b}))
+        engine = _engine(registry=registry)
+        expr = Compare(
+            "<=",
+            Call("t_pair", (Param("A"), Param("B"))),
+            SetExpr("|", Param("S"), SetLiteral((Param("A"), Param("B")))),
+        )
+        fn, _, stats = compile_expr(
+            expr, PARAMS, registry=registry
+        )
+        assert stats.static_calls == 1
+        env_list = [env[p] for p in PARAMS]
+        assert fn(engine, env_list) == engine._eval_expr(expr, env)
+
+    def test_unregistered_call_raises_rule_error_both_paths(self):
+        expr = Call("no_such_fn", (Param("A"),))
+        fn, _, stats = compile_expr(expr, PARAMS)
+        assert stats.fallbacks == 1
+        env = {"A": 1, "B": 2, "S": frozenset(), "T": frozenset()}
+        with pytest.raises(RuleError):
+            self.engine._eval_expr(expr, env)
+        with pytest.raises(RuleError):
+            fn(self.engine, [env[p] for p in PARAMS])
+
+    def test_constant_subtrees_fold(self):
+        expr = SetExpr(
+            "|", SetLiteral((Const(1), Const(2))), Const(frozenset({3}))
+        )
+        fn, _, stats = compile_expr(expr, PARAMS)
+        assert stats.constant_folds > 0
+        assert fn(self.engine, [None] * 4) == frozenset({1, 2, 3})
+
+
+# ---------------------------------------------------------------------------
+# Plan-level parity: the flag must be invisible
+# ---------------------------------------------------------------------------
+
+
+class TestCompiledPlanParity:
+    @pytest.mark.parametrize(
+        "name,catalog,query", _workloads(), ids=lambda v: str(v)[:20]
+    )
+    def test_identical_plans_costs_and_alternatives(self, name, catalog, query):
+        on = _best(catalog, query)
+        off = _best(catalog, query, OptimizerConfig(compile_stars=False))
+        assert on.engine.compiled is not None  # default-on
+        assert off.engine.compiled is None
+        assert on.stats.compiled_star_evals > 0
+        assert off.stats.compiled_star_evals == 0
+        assert on.best_plan.digest == off.best_plan.digest, (
+            f"{name}: best plan changed"
+        )
+        assert on.best_cost == pytest.approx(off.best_cost), (
+            f"{name}: best cost changed"
+        )
+        assert sorted(p.digest for p in on.alternatives) == sorted(
+            p.digest for p in off.alternatives
+        ), f"{name}: alternatives set changed"
+
+    def test_expansion_stats_identical_modulo_compiled_counter(self):
+        """The compiled path walks the same alternatives, conditions, and
+        ∀-iterations as the interpreter — only the new counter differs."""
+        wl = chain_workload(3, rows=30, seed=31)
+        on = _best(wl.catalog, wl.query).stats
+        off = _best(
+            wl.catalog, wl.query, OptimizerConfig(compile_stars=False)
+        ).stats
+        for field in (
+            "alternatives_considered",
+            "conditions_evaluated",
+            "forall_iterations",
+        ):
+            assert getattr(on, field) == getattr(off, field), field
+
+    def test_forall_shadowing_parity(self):
+        """A ∀ variable shadowing a STAR parameter of the same name: the
+        compiled slot environment must see the loop element, exactly as
+        the interpreter's dict environment does."""
+        registry = _pick_registry()
+        rules = RuleSet([
+            StarDef(
+                name="ShadowRoot",
+                params=("X",),
+                alternatives=(
+                    Alternative(
+                        term=ForAll(
+                            var="X",
+                            set_expr=Param("X"),
+                            term=Call("t_pick", (Param("X"),)),
+                        )
+                    ),
+                ),
+            )
+        ])
+        args = (frozenset({0, 1}),)
+        compiled_sap = _engine(
+            compile_stars=True, registry=registry, rules=rules
+        ).expand("ShadowRoot", args)
+        interpreted_sap = _engine(
+            compile_stars=False, registry=registry, rules=rules
+        ).expand("ShadowRoot", args)
+        assert {p.digest for p in compiled_sap} == {
+            p.digest for p in interpreted_sap
+        }
+        assert len(compiled_sap) == 2
+
+
+# ---------------------------------------------------------------------------
+# Program cache and staleness
+# ---------------------------------------------------------------------------
+
+
+class TestProgramCache:
+    def test_same_ruleset_and_registry_share_one_program(self):
+        rules = extended_rules()
+        registry = default_registry()
+        first = compile_rules(rules, registry)
+        second = compile_rules(rules, registry)
+        assert second is first
+        assert second.stats.cache_hits >= 1
+
+    def test_registry_copies_share_the_program(self):
+        """default_registry() copies hold the same function objects, so
+        their fingerprints — and compiled programs — are equal."""
+        rules = extended_rules()
+        assert compile_rules(rules, default_registry()) is compile_rules(
+            rules, default_registry()
+        )
+
+    def test_mutation_invalidates_the_program(self):
+        rules = default_rules()
+        registry = default_registry()
+        before = compile_rules(rules, registry)
+        rules.add(
+            StarDef(
+                name="Noop",
+                params=("P",),
+                alternatives=(Alternative(term=Param("P")),),
+            )
+        )
+        after = compile_rules(rules, registry)
+        assert after is not before
+        assert "Noop" in after.stars
+        assert "Noop" not in before.stars
+
+    def test_stale_program_falls_back_to_interpreter(self):
+        """Rules mutated under a live engine: the compiled snapshot no
+        longer matches the StarDef, so expansion takes the oracle path
+        instead of running stale closures."""
+        registry = _pick_registry()
+        rules = _pick_rules()
+        engine = _engine(compile_stars=True, registry=registry, rules=rules)
+        fresh = engine.expand("PickAll", (0,))
+        assert engine.stats.compiled_star_evals == 1
+        # Swap in a semantically identical but *different* StarDef: the
+        # engine's snapshot now points at a dead object.
+        rules.replace(_pick_rules().get("PickAll"))
+        stale = engine.expand("PickAll", (0,))
+        assert engine.stats.compiled_star_evals == 1  # interpreter ran
+        assert {p.digest for p in stale} == {p.digest for p in fresh}
+
+    def test_new_engine_recompiles_after_mutation(self):
+        """The version-keyed cache means post-mutation engines get a
+        fresh program, not the stale snapshot."""
+        registry = _pick_registry()
+        rules = _pick_rules()
+        first = _engine(compile_stars=True, registry=registry, rules=rules)
+        rules.replace(_pick_rules().get("PickAll"))
+        second = _engine(compile_stars=True, registry=registry, rules=rules)
+        assert second.compiled is not first.compiled
+        second.expand("PickAll", (1,))
+        assert second.stats.compiled_star_evals == 1
+
+
+# ---------------------------------------------------------------------------
+# Interpreter-side satellite: cached Call → StarRef dispatch
+# ---------------------------------------------------------------------------
+
+
+class TestCallRefCache:
+    def test_call_to_star_reuses_one_starref(self):
+        engine = _engine(
+            compile_stars=False, registry=_pick_registry(),
+            rules=_pick_rules(),
+        )
+        expr = Call("PickAll", (Const(0),))
+        env: dict = {}
+        first = engine._eval_expr(expr, env)
+        assert len(engine._call_refs) == 1
+        ref = next(iter(engine._call_refs.values()))
+        second = engine._eval_expr(expr, env)
+        assert engine._call_refs[id(expr)] is ref
+        assert {p.digest for p in first} == {p.digest for p in second}
+
+
+# ---------------------------------------------------------------------------
+# Validation surfaces uncompilable rules
+# ---------------------------------------------------------------------------
+
+
+class TestValidationWarnings:
+    def test_builtin_rules_compile_clean(self):
+        registry = default_registry()
+        for rules in (
+            default_rules(),
+            extended_rules(),
+            extended_rules(
+                tid_sort=True, or_index=True, and_index=True, semijoin=True
+            ),
+        ):
+            assert uncompilable_sites(rules, registry) == ()
+            report = validate_rules(rules, registry)
+            assert report.ok and not report.warnings
+
+    def test_unregistered_call_warns(self):
+        rules = default_rules()
+        rules.add(
+            StarDef(
+                name="Sloppy",
+                params=("P",),
+                alternatives=(
+                    Alternative(
+                        term=Param("P"),
+                        condition=Call("mystery_fn", (Param("P"),)),
+                    ),
+                ),
+            )
+        )
+        registry = default_registry()
+        # Unknown names are a validation *error*; the compiler warning
+        # channel targets legal-but-uncompilable sites, so register it
+        # late the way a dynamically-patched registry would miss it.
+        sites = uncompilable_sites(rules, registry)
+        assert any("Sloppy" in s for s in sites)
+        assert any("interpreted at runtime" in s for s in sites)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_optimize_no_compile_matches_default(self, capsys):
+        assert cli_main(["optimize", "SELECT NAME FROM EMP"]) == 0
+        default_out = capsys.readouterr().out
+        assert (
+            cli_main(["optimize", "SELECT NAME FROM EMP", "--no-compile"]) == 0
+        )
+        nocompile_out = capsys.readouterr().out
+        pick = lambda text: [
+            line for line in text.splitlines()
+            if line.startswith(("best plan", "cost"))
+        ]
+        assert pick(default_out) == pick(nocompile_out)
+
+    def test_optimize_profile_reports_compile_split(self, capsys):
+        rc = cli_main(["optimize", "SELECT NAME FROM EMP", "--profile"])
+        assert rc == 0
+        assert "compile split:" in capsys.readouterr().out
+
+    def test_optimize_profile_reports_compile_off(self, capsys):
+        rc = cli_main([
+            "optimize", "SELECT NAME FROM EMP", "--profile", "--no-compile",
+        ])
+        assert rc == 0
+        assert "compile off" in capsys.readouterr().out
+
+    def test_bench_opt_no_compile_layers_line(self, capsys):
+        rc = cli_main([
+            "bench-opt", "--workload", "chain:3", "--queries", "1",
+            "--no-compile",
+        ])
+        assert rc == 0
+        assert "compile=off" in capsys.readouterr().out
