@@ -5,6 +5,14 @@ Subcommands:
 * ``demo`` — optimize and run the paper's Figure-1 query end to end.
 * ``optimize SQL`` — plan (and optionally execute) a query against a
   built-in workload; ``--trace`` prints the STAR expansion trace.
+* ``compile-plan`` — optimize a query and lower the chosen QEP through a
+  registered backend to a standalone artifact: deterministic SQL
+  (``--backend sql``), a fused Python pipeline (``--backend pyloop``),
+  or the rendered plan tree for the in-process engines.
+* ``diff`` — run the chosen plan (and, with ``--alternatives N``, more
+  plans from the SAP) through the differential oracle: every requested
+  backend executes the same plan and the normalized row sets must
+  match; the exit code reflects disagreement.
 * ``rules`` — print the builtin rule repertoire, or statically validate
   a Database Customizer's rule file.
 * ``chaos`` — run the Figure-3 distributed query under deterministic
@@ -68,6 +76,12 @@ from repro import (
     parse_rules,
     render_tree,
     validate_rules,
+)
+from repro.backends import (
+    DEFAULT_BACKENDS,
+    DifferentialOracle,
+    backend_names,
+    get_backend,
 )
 from repro.obs import (
     MetricsRegistry,
@@ -203,6 +217,68 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         if len(answer.rows) > limit:
             print(f"   ... {len(answer.rows) - limit} more")
     return 0
+
+
+def cmd_compile_plan(args: argparse.Namespace) -> int:
+    """Optimize a query and lower the chosen QEP through one backend,
+    printing the standalone artifact (SQL text or a Python module)."""
+    catalog, _database, default_query = _load_workload_full(args.workload)
+    backend = get_backend(args.backend)
+    optimizer = StarburstOptimizer(catalog, rules=_rule_set(args.rules))
+    result = optimizer.optimize(args.sql if args.sql else default_query)
+    compiled = backend.compile_plan(result.query, result.best_plan, catalog)
+    text = compiled.text if compiled.text.endswith("\n") else compiled.text + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes of {compiled.language} to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Run the chosen plan (and optionally SAP alternatives) through the
+    differential oracle and report per-backend row-set agreement."""
+    catalog, database, default_query = _load_workload_full(args.workload)
+    if args.backend:
+        lineup = ["iterator"] + [b for b in args.backend if b != "iterator"]
+        if len(lineup) == 1:
+            lineup.append("vectorized")
+    else:
+        lineup = list(DEFAULT_BACKENDS)
+    optimizer = StarburstOptimizer(catalog, rules=_rule_set(args.rules))
+    result = optimizer.optimize(args.sql if args.sql else default_query)
+    plans = [result.best_plan]
+    seen = {result.best_plan.digest}
+    for alt in result.alternatives:
+        if len(plans) >= args.alternatives:
+            break
+        plan = getattr(alt, "plan", alt)
+        if plan.digest not in seen:
+            seen.add(plan.digest)
+            plans.append(plan)
+    oracle = DifferentialOracle(tuple(lineup))
+    disagreements = 0
+    fell_back = False
+    for plan in plans:
+        report = oracle.check(result.query, plan, database)
+        counts = ", ".join(
+            f"{o.backend}={'ERR' if o.error is not None else o.row_count}"
+            + ("*" if o.fell_back else "")
+            for o in report.outcomes
+        )
+        print(f"{'AGREE   ' if report.agreed else 'DISAGREE'} plan {plan.digest}: {counts}")
+        for err in report.errors:
+            print(f"  error {err}")
+        fell_back = fell_back or bool(report.fallbacks)
+        if not report.agreed:
+            disagreements += 1
+            print(report.mismatch_summary())
+    trailer = " (* = fell back to the vectorized engine)" if fell_back else ""
+    print(f"checked {len(plans)} plan(s) on {', '.join(lineup)}; "
+          f"{disagreements} disagreement(s){trailer}")
+    return 1 if disagreements else 0
 
 
 def cmd_bench_opt(args: argparse.Namespace) -> int:
@@ -906,7 +982,7 @@ def main(argv: list[str] | None = None) -> int:
     optimize.add_argument("--trace", action="store_true", help="print the expansion trace")
     optimize.add_argument("--limit", type=int, default=10, help="rows to print")
     optimize.add_argument("--no-compile", action="store_true",
-                          help="disable compiled STAR closures (layer 4: "
+                          help="disable compiled STAR closures (layer 5: "
                                "interpret the rule AST instead)")
     optimize.add_argument("--profile", action="store_true",
                           help="run under cProfile and print the top-20 "
@@ -917,6 +993,40 @@ def main(argv: list[str] | None = None) -> int:
                           help="execution engine for --execute: batch-at-a-time "
                                "vectorized (default) or tuple-at-a-time iterator")
     optimize.set_defaults(fn=cmd_optimize)
+
+    compile_plan = sub.add_parser(
+        "compile-plan",
+        help="lower the chosen plan to a standalone artifact (SQL, Python, ...)",
+    )
+    compile_plan.add_argument("sql", nargs="?", default=None,
+                              help="a SELECT statement (default: the workload's query)")
+    compile_plan.add_argument("--workload", default="paper",
+                              help="paper | paper-distributed | chain:N | star:N | clique:N")
+    compile_plan.add_argument("--rules", default="extended",
+                              help="base | extended | all")
+    compile_plan.add_argument("--backend", default="sql", choices=backend_names(),
+                              help="target backend (default: sql)")
+    compile_plan.add_argument("--out", metavar="FILE",
+                              help="write the artifact to FILE instead of stdout")
+    compile_plan.set_defaults(fn=cmd_compile_plan)
+
+    diff = sub.add_parser(
+        "diff",
+        help="run one plan on several backends and compare normalized row sets",
+    )
+    diff.add_argument("sql", nargs="?", default=None,
+                      help="a SELECT statement (default: the workload's query)")
+    diff.add_argument("--workload", default="paper",
+                      help="paper | paper-distributed | chain:N | star:N | clique:N")
+    diff.add_argument("--rules", default="extended", help="base | extended | all")
+    diff.add_argument("--backend", action="append", choices=backend_names(),
+                      metavar="NAME",
+                      help="backend to compare against iterator (repeatable; "
+                           "default lineup: iterator, vectorized, pyloop, sqlite)")
+    diff.add_argument("--alternatives", type=int, default=1, metavar="N",
+                      help="check up to N distinct plans from the SAP (default 1: "
+                           "the chosen plan only)")
+    diff.set_defaults(fn=cmd_diff)
 
     bench_opt = sub.add_parser(
         "bench-opt",
@@ -946,7 +1056,7 @@ def main(argv: list[str] | None = None) -> int:
     bench_opt.add_argument("--no-prune", action="store_true",
                            help="disable dominance pruning (layer 3)")
     bench_opt.add_argument("--no-compile", action="store_true",
-                           help="disable compiled STAR closures (layer 4)")
+                           help="disable compiled STAR closures (layer 5)")
     bench_opt.add_argument("--json", metavar="FILE",
                            help="write per-query results as JSON")
     bench_opt.add_argument("--profile", action="store_true",

@@ -1,0 +1,665 @@
+"""Fused per-plan Python pipelines (data-centric code generation).
+
+Where the interpreters walk the plan tree per tuple (or per batch), this
+backend compiles the whole operator tree into **one** generated Python
+function — the produce/consume ("push") model: each pipeline becomes a
+nested ``for`` loop, operators between pipeline breakers disappear into
+plain ``if``/assignment statements, and column values live in local
+variables instead of row dictionaries.  It extends the
+:mod:`repro.executor.batch_ops` compiled-predicate idea all the way down
+the operator tree.
+
+Sideways information passing costs nothing here: a nested-loop inner
+subtree is emitted *inside* the outer loop's body, so predicates that
+reference outer tables simply close over the outer columns' local
+variables — the lexical analogue of the interpreter's
+:class:`~repro.query.expressions.RowContext` chain.
+
+Supported subset: single-pipeline plans — anything without
+materialization.  ``STORE``, ``BUILDIX`` and ``ACCESS(temp)`` raise
+:class:`~repro.errors.UnsupportedPlanError` at compile time, and
+:meth:`PyLoopBackend.execute` then falls back to the vectorized engine,
+so the backend is safe to call on any plan.  (Hash/merge/semijoin
+builds and DEDUP/INTERSECT state are in-memory dicts and sets — loop
+state, not pipeline breaks.)
+
+Engine-parity corners the generated code reproduces exactly:
+
+* comparisons are two-valued (``None`` on either side → False) via the
+  ``_eq``/``_lt``/... helpers in the generated module's preamble;
+* hash and semijoin key expressions that *raise* (arithmetic over
+  ``None``) skip the row, not the query — per-join key functions return
+  a ``_SKIP`` sentinel on the same exception set the engine maps to
+  ``ExecutionError``;
+* the semijoin probe is raw set membership (``None == None`` matches,
+  residual predicates ignored), merge keys skip ``None``, and the hash
+  join rechecks every join predicate on the combined row;
+* DEDUP/INTERSECT keys use ``row.get`` semantics (a column missing from
+  the stream reads as ``None``).
+
+TIDs are heap-scan ordinals (``enumerate`` indexes), so ``GET`` is a
+plain list index — internally consistent with nothing to reconcile,
+since TIDs never reach a final projection.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.backends.base import CompiledPlan
+from repro.errors import BackendError, UnsupportedPlanError
+from repro.executor.runtime import _hash_sides, _merge_triples
+from repro.plans.operators import (
+    ACCESS,
+    DEDUP,
+    FILTER,
+    GET,
+    INTERSECT,
+    JOIN,
+    PROJECT,
+    SHIP,
+    SORT,
+    UNION,
+)
+from repro.plans.plan import PlanNode
+from repro.query.expressions import Arith, ColumnRef, Expr, FuncCall, Literal
+from repro.query.predicates import (
+    Comparison,
+    Conjunction,
+    Disjunction,
+    Negation,
+)
+from repro.query.query import QueryBlock
+from repro.storage.table import Database, tid_column
+
+#: Ops a fused pipeline can absorb (ACCESS only without plan inputs and
+#: with a non-temp flavor — materialization breaks the pipeline).
+_FUSABLE_OPS = frozenset(
+    (ACCESS, GET, SORT, SHIP, FILTER, JOIN, UNION, DEDUP, PROJECT, INTERSECT)
+)
+
+_CMP_HELPERS = {"=": "_eq", "<>": "_ne", "<": "_lt", "<=": "_le", ">": "_gt", ">=": "_ge"}
+
+_PREAMBLE = '''\
+_SKIP = object()
+
+
+def _sk(v):
+    return (v is None, v)
+
+
+def _eq(a, b):
+    return a is not None and b is not None and a == b
+
+
+def _ne(a, b):
+    return a is not None and b is not None and a != b
+
+
+def _lt(a, b):
+    return a is not None and b is not None and a < b
+
+
+def _le(a, b):
+    return a is not None and b is not None and a <= b
+
+
+def _gt(a, b):
+    return a is not None and b is not None and a > b
+
+
+def _ge(a, b):
+    return a is not None and b is not None and a >= b
+'''
+
+Env = dict[ColumnRef, str]
+Consume = Callable[[Env, int], None]
+
+
+def _san(text: str) -> str:
+    return re.sub(r"[^0-9a-zA-Z_]", "_", text)
+
+
+def _tuple_literal(items: list[str]) -> str:
+    return "(" + ", ".join(items) + ("," if len(items) == 1 else "") + ")"
+
+
+def _py_expr(expr: Expr, env: Env) -> str:
+    if isinstance(expr, ColumnRef):
+        var = env.get(expr)
+        if var is None:
+            raise UnsupportedPlanError(
+                f"expression references column {expr} absent from the pipeline"
+            )
+        return var
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, Arith):
+        left, right = _py_expr(expr.left, env), _py_expr(expr.right, env)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, FuncCall):
+        args = [_py_expr(a, env) for a in expr.args]
+        if expr.name == "abs":
+            return f"abs({args[0]})"
+        if expr.name == "lower":
+            return f"({args[0]}).lower()"
+        if expr.name == "upper":
+            return f"({args[0]}).upper()"
+        if expr.name == "length":
+            return f"len({args[0]})"
+        if expr.name == "mod":
+            return f"({args[0]} % {args[1]})"
+    raise UnsupportedPlanError(f"no pyloop lowering for expression {expr}")
+
+
+def _py_pred(pred, env: Env) -> str:
+    if isinstance(pred, Comparison):
+        left, right = _py_expr(pred.left, env), _py_expr(pred.right, env)
+        return f"{_CMP_HELPERS[pred.op]}({left}, {right})"
+    if isinstance(pred, Conjunction):
+        return "(" + " and ".join(_py_pred(p, env) for p in pred.parts) + ")"
+    if isinstance(pred, Disjunction):
+        return "(" + " or ".join(_py_pred(p, env) for p in pred.parts) + ")"
+    if isinstance(pred, Negation):
+        return f"(not {_py_pred(pred.part, env)})"
+    raise UnsupportedPlanError(f"no pyloop lowering for predicate {pred}")
+
+
+def _sorted_preds(preds):
+    return tuple(sorted(preds, key=str))
+
+
+class _PipelineEmitter:
+    """Generates the body of ``run(tables)`` by pushing rows from scans
+    down to a consume callback, one nested loop per pipeline."""
+
+    def __init__(self, catalog: Any) -> None:
+        self.catalog = catalog
+        self.body: list[str] = []
+        self.aux: list[str] = []
+        self.notes: list[str] = []
+        self._counter = 0
+
+    def _next(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def w(self, depth: int, text: str) -> None:
+        self.body.append("    " * depth + text)
+
+    def note(self, text: str) -> None:
+        if text not in self.notes:
+            self.notes.append(text)
+
+    def _key_fn(self, prefix: str, exprs: list[str], params: list[str], skip_none: bool, can_raise: bool) -> str:
+        """Emit a module-level key function; returns its name.  The
+        caller's variable names double as the parameter names."""
+        name = f"_{prefix}{self._next()}"
+        lines = [f"def {name}({', '.join(params)}):"]
+        key = _tuple_literal(exprs)
+        if can_raise:
+            lines += [
+                "    try:",
+                f"        _k = {key}",
+                "    except (TypeError, ZeroDivisionError, AttributeError, ValueError):",
+                "        return _SKIP",
+            ]
+        else:
+            lines.append(f"    _k = {key}")
+        if skip_none:
+            lines += ["    if None in _k:", "        return _SKIP"]
+        lines.append("    return _k")
+        self.aux.append("\n".join(lines))
+        return name
+
+    def _guard_preds(self, preds, env: Env, depth: int) -> None:
+        for pred in _sorted_preds(preds):
+            self.w(depth, f"if not {_py_pred(pred, env)}:")
+            self.w(depth + 1, "continue")
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def emit(self, node: PlanNode, env: Env, depth: int, consume: Consume) -> None:
+        if node.op == ACCESS:
+            self._access(node, env, depth, consume)
+        elif node.op == GET:
+            self._get(node, env, depth, consume)
+        elif node.op == FILTER:
+            self._guarded_passthrough(node, env, depth, consume)
+        elif node.op == SORT:
+            order = ", ".join(str(c) for c in node.param("order", ()))
+            self.note(f"SORT({order}) elided: the epilogue re-derives ORDER BY")
+            self.emit(node.inputs[0], env, depth, consume)
+        elif node.op == SHIP:
+            self.note(
+                f"SHIP {node.inputs[0].props.site} -> {node.param('to_site')} "
+                "collapsed: generated pipeline runs in-process"
+            )
+            self.emit(node.inputs[0], env, depth, consume)
+        elif node.op == PROJECT:
+            columns = node.param("columns") or frozenset()
+            narrowed_consume = consume
+
+            def project_consume(inner_env: Env, d: int) -> None:
+                narrowed_consume(
+                    {ref: var for ref, var in inner_env.items() if ref in columns}, d
+                )
+
+            self.emit(node.inputs[0], env, depth, project_consume)
+        elif node.op == JOIN:
+            self._join(node, env, depth, consume)
+        elif node.op == UNION:
+            self.emit(node.inputs[0], env, depth, consume)
+            self.emit(node.inputs[1], env, depth, consume)
+        elif node.op == DEDUP:
+            self._dedup(node, env, depth, consume)
+        elif node.op == INTERSECT:
+            self._intersect(node, env, depth, consume)
+        else:
+            raise UnsupportedPlanError(
+                "not fusable into a single pipeline", op=node.op
+            )
+
+    # -- scans -------------------------------------------------------------------
+
+    def _positions(self, table: str) -> dict[str, int]:
+        tdef = self.catalog.table(table)
+        return {name: i for i, name in enumerate(tdef.column_names)}
+
+    def _access(self, node: PlanNode, env: Env, depth: int, consume: Consume) -> None:
+        if node.flavor == "temp" or node.inputs:
+            raise UnsupportedPlanError(
+                "materialized temps break the single fused pipeline", op=ACCESS
+            )
+        table = node.param("table")
+        columns = node.param("columns") or frozenset()
+        preds = node.param("preds") or frozenset()
+        positions = self._positions(table)
+        n = self._next()
+        tid = tid_column(table)
+
+        providable: set[ColumnRef] | None = None
+        always_tid = False
+        if node.flavor == "index":
+            path = node.param("path")
+            self.note(
+                f"index {path.name} on {table}: probe lowered to a "
+                "predicate scan over the base rows"
+            )
+            always_tid = True  # index streams always carry the TID
+            if not path.clustered:
+                providable = {ColumnRef(table, c) for c in path.columns}
+        elif node.flavor == "btree":
+            self.note(
+                f"btree table {table}: key-order scan lowered to heap order "
+                "(row-set comparison is order-insensitive)"
+            )
+
+        self.w(depth, f"for _i{n}, _r{n} in enumerate(tables[{table!r}]):")
+        inner = dict(env)
+        bind: list[ColumnRef] = sorted(
+            (c for c in columns if not c.column.startswith("#")), key=str
+        )
+        eval_only: list[ColumnRef] = []
+        if providable is not None:
+            # An unclustered index entry carries only its key columns
+            # (plus the TID); the interpreter evaluates predicates over
+            # everything the entry carries, then narrows to the
+            # requested columns.
+            eval_only = sorted(providable - set(bind), key=str)
+            bind = [c for c in bind if c in providable]
+        for ref in bind + eval_only:
+            var = f"v{n}_{_san(ref.table)}_{_san(ref.column)}"
+            self.w(depth + 1, f"{var} = _r{n}[{positions[ref.column]}]")
+            inner[ref] = var
+        want_tid = always_tid or any(c.column.startswith("#") for c in columns)
+        if want_tid:
+            tid_var = f"v{n}_{_san(table)}__tid"
+            self.w(depth + 1, f"{tid_var} = _i{n}")
+            inner[tid] = tid_var
+        self._guard_preds(preds, inner, depth + 1)
+        out_env = dict(env)
+        for ref in bind:
+            out_env[ref] = inner[ref]
+        if want_tid:
+            out_env[tid] = inner[tid]
+        consume(out_env, depth + 1)
+
+    def _get(self, node: PlanNode, env: Env, depth: int, consume: Consume) -> None:
+        table = node.param("table")
+        columns = node.param("columns") or frozenset()
+        preds = node.param("preds") or frozenset()
+        positions = self._positions(table)
+        tid = tid_column(table)
+
+        def after_input(inner_env: Env, d: int) -> None:
+            tid_var = inner_env.get(tid)
+            if tid_var is None:
+                raise UnsupportedPlanError(
+                    f"GET on {table}: input stream lacks a TID", op=GET
+                )
+            n = self._next()
+            self.w(d, f"_g{n} = tables[{table!r}][{tid_var}]")
+            out_env = dict(inner_env)
+            for ref in sorted(columns, key=str):
+                var = f"g{n}_{_san(ref.table)}_{_san(ref.column)}"
+                self.w(d, f"{var} = _g{n}[{positions[ref.column]}]")
+                out_env[ref] = var
+            self._guard_preds(preds, out_env, d)
+            consume(out_env, d)
+
+        self.emit(node.inputs[0], env, depth, after_input)
+
+    def _guarded_passthrough(
+        self, node: PlanNode, env: Env, depth: int, consume: Consume
+    ) -> None:
+        preds = node.param("preds") or frozenset()
+
+        def after_input(inner_env: Env, d: int) -> None:
+            self._guard_preds(preds, inner_env, d)
+            consume(inner_env, d)
+
+        self.emit(node.inputs[0], env, depth, after_input)
+
+    # -- joins -------------------------------------------------------------------
+
+    def _join(self, node: PlanNode, env: Env, depth: int, consume: Consume) -> None:
+        if node.flavor == "NL":
+            self._join_nl(node, env, depth, consume)
+        elif node.flavor in ("HA", "MG"):
+            self._join_hash(node, env, depth, consume)
+        elif node.flavor == "SJ":
+            self._join_sj(node, env, depth, consume)
+        else:  # pragma: no cover - plan validation rejects unknown flavors
+            raise UnsupportedPlanError(f"unknown JOIN flavor {node.flavor}", op=JOIN)
+
+    def _join_nl(self, node: PlanNode, env: Env, depth: int, consume: Consume) -> None:
+        outer, inner = node.inputs
+        preds = (node.param("join_preds") or frozenset()) | (
+            node.param("residual_preds") or frozenset()
+        )
+
+        def outer_consume(outer_env: Env, d: int) -> None:
+            def inner_consume(combined_env: Env, d2: int) -> None:
+                self._guard_preds(preds, combined_env, d2)
+                consume(combined_env, d2)
+
+            # Inner emission under the outer env: sideways predicates on
+            # inner scans resolve against the outer loop's variables.
+            self.emit(inner, outer_env, d, inner_consume)
+
+        self.emit(outer, env, depth, outer_consume)
+
+    def _join_hash(self, node: PlanNode, env: Env, depth: int, consume: Consume) -> None:
+        outer, inner = node.inputs
+        join_preds = node.param("join_preds") or frozenset()
+        residual = node.param("residual_preds") or frozenset()
+        is_merge = node.flavor == "MG"
+        if is_merge:
+            triples = _merge_triples(join_preds, outer.props.tables)
+            if not triples:
+                raise UnsupportedPlanError(
+                    "merge join without column-to-column predicates", op=JOIN
+                )
+            sides = [(o, i) for o, i, _ in triples]
+            check = (join_preds - {p for _, _, p in triples}) | residual
+            self.note(
+                "JOIN(MG) lowered to hash matching with None-key skip "
+                "(merge order is irrelevant to the row set)"
+            )
+        else:
+            sides = _hash_sides(join_preds, outer.props.tables)
+            if not sides:
+                raise UnsupportedPlanError(
+                    "hash join without hashable predicates", op=JOIN
+                )
+            check = join_preds | residual
+        n = self._next()
+        self.w(depth, f"_ht{n} = {{}}")
+        inner_tables = inner.props.tables
+        state: dict[str, list[ColumnRef] | None] = {"saved": None}
+
+        def build_consume(inner_env: Env, d: int) -> None:
+            # Bucket only the inner stream's own columns (enclosing
+            # nested-loop bindings stay lexically visible at the probe
+            # site, like the interpreter's RowContext chain).
+            stream = sorted(
+                (ref for ref in inner_env if ref.table in inner_tables), key=str
+            )
+            if state["saved"] is None:
+                state["saved"] = stream
+            elif state["saved"] != stream:
+                raise UnsupportedPlanError(
+                    "hash-join build branches export different column sets",
+                    op=JOIN,
+                )
+            exprs = [_py_expr(e, inner_env) for _, e in sides]
+            params = sorted(
+                {inner_env[ref] for _, e in sides for ref in e.columns()}
+            )
+            fn = self._key_fn(
+                "bkey", exprs, params,
+                skip_none=is_merge,
+                can_raise=not all(isinstance(e, ColumnRef) for _, e in sides),
+            )
+            self.w(d, f"_k{n} = {fn}({', '.join(params)})")
+            self.w(d, f"if _k{n} is not _SKIP:")
+            row = _tuple_literal([inner_env[ref] for ref in stream])
+            self.w(d + 1, f"_ht{n}.setdefault(_k{n}, []).append({row})")
+
+        self.emit(inner, env, depth, build_consume)
+        saved: list[ColumnRef] = state["saved"] or []
+
+        def probe_consume(outer_env: Env, d: int) -> None:
+            exprs = [_py_expr(e, outer_env) for e, _ in sides]
+            params = sorted(
+                {outer_env[ref] for e, _ in sides for ref in e.columns()}
+            )
+            fn = self._key_fn(
+                "pkey", exprs, params,
+                skip_none=is_merge,
+                can_raise=not all(isinstance(e, ColumnRef) for e, _ in sides),
+            )
+            self.w(d, f"_k{n} = {fn}({', '.join(params)})")
+            self.w(d, f"if _k{n} is not _SKIP:")
+            self.w(d + 1, f"for _m{n} in _ht{n}.get(_k{n}, ()):")
+            combined = dict(outer_env)
+            for j, ref in enumerate(saved):
+                var = f"m{n}_{_san(ref.table)}_{_san(ref.column)}"
+                self.w(d + 2, f"{var} = _m{n}[{j}]")
+                combined[ref] = var
+            self._guard_preds(check, combined, d + 2)
+            consume(combined, d + 2)
+
+        self.emit(outer, env, depth, probe_consume)
+
+    def _join_sj(self, node: PlanNode, env: Env, depth: int, consume: Consume) -> None:
+        outer, inner = node.inputs
+        join_preds = node.param("join_preds") or frozenset()
+        sides = _hash_sides(join_preds, outer.props.tables)
+        if not sides:
+            raise UnsupportedPlanError(
+                "semijoin without hashable predicates", op=JOIN
+            )
+        n = self._next()
+        self.note(
+            "JOIN(SJ) lowered to set membership (None == None matches, "
+            "residual predicates ignored — engine semantics)"
+        )
+        self.w(depth, f"_ks{n} = set()")
+
+        def build_consume(inner_env: Env, d: int) -> None:
+            exprs = [_py_expr(e, inner_env) for _, e in sides]
+            params = sorted(
+                {inner_env[ref] for _, e in sides for ref in e.columns()}
+            )
+            fn = self._key_fn(
+                "skey", exprs, params, skip_none=False,
+                can_raise=not all(isinstance(e, ColumnRef) for _, e in sides),
+            )
+            self.w(d, f"_k{n} = {fn}({', '.join(params)})")
+            self.w(d, f"if _k{n} is not _SKIP:")
+            self.w(d + 1, f"_ks{n}.add(_k{n})")
+
+        self.emit(inner, env, depth, build_consume)
+
+        def probe_consume(outer_env: Env, d: int) -> None:
+            exprs = [_py_expr(e, outer_env) for e, _ in sides]
+            params = sorted(
+                {outer_env[ref] for e, _ in sides for ref in e.columns()}
+            )
+            fn = self._key_fn(
+                "qkey", exprs, params, skip_none=False,
+                can_raise=not all(isinstance(e, ColumnRef) for e, _ in sides),
+            )
+            self.w(d, f"_k{n} = {fn}({', '.join(params)})")
+            self.w(d, f"if _k{n} is _SKIP or _k{n} not in _ks{n}:")
+            self.w(d + 1, "continue")
+            consume(outer_env, d)
+
+        self.emit(outer, env, depth, probe_consume)
+
+    # -- set operators -----------------------------------------------------------
+
+    def _key_values(self, key, env: Env) -> list[str]:
+        # row.get semantics: a column missing from the stream reads None.
+        return [env.get(ref, "None") for ref in key]
+
+    def _dedup(self, node: PlanNode, env: Env, depth: int, consume: Consume) -> None:
+        key = tuple(node.param("key", ()))
+        n = self._next()
+        self.w(depth, f"_seen{n} = set()")
+
+        def after_input(inner_env: Env, d: int) -> None:
+            values = _tuple_literal(self._key_values(key, inner_env))
+            self.w(d, f"_k{n} = {values}")
+            self.w(d, f"if _k{n} in _seen{n}:")
+            self.w(d + 1, "continue")
+            self.w(d, f"_seen{n}.add(_k{n})")
+            consume(inner_env, d)
+
+        self.emit(node.inputs[0], env, depth, after_input)
+
+    def _intersect(self, node: PlanNode, env: Env, depth: int, consume: Consume) -> None:
+        key = tuple(node.param("key", ()))
+        n = self._next()
+        self.w(depth, f"_rk{n} = set()")
+
+        def right_consume(inner_env: Env, d: int) -> None:
+            values = _tuple_literal(self._key_values(key, inner_env))
+            self.w(d, f"_rk{n}.add({values})")
+
+        self.emit(node.inputs[1], env, depth, right_consume)
+
+        def left_consume(inner_env: Env, d: int) -> None:
+            values = _tuple_literal(self._key_values(key, inner_env))
+            self.w(d, f"if {values} not in _rk{n}:")
+            self.w(d + 1, "continue")
+            consume(inner_env, d)
+
+        self.emit(node.inputs[0], env, depth, left_consume)
+
+
+def generate_module(query: QueryBlock, plan: PlanNode, catalog: Any) -> tuple[str, tuple[str, ...]]:
+    """Generate the standalone module source for one plan; returns
+    ``(source, notes)``."""
+    if catalog is None:
+        raise BackendError("pyloop compilation needs a catalog for column layout")
+    emitter = _PipelineEmitter(catalog)
+
+    def root_consume(env: Env, depth: int) -> None:
+        selects = [_py_expr(item.expr, env) for item in query.select]
+        if query.order_by:
+            orders = [env.get(o.column, "None") for o in query.order_by]
+            emitter.w(
+                depth,
+                f"out.append(({_tuple_literal(selects)}, {_tuple_literal(orders)}))",
+            )
+        else:
+            emitter.w(depth, f"out.append({_tuple_literal(selects)})")
+
+    emitter.emit(plan, {}, 1, root_consume)
+
+    epilogue: list[str] = []
+    if query.order_by:
+        for i, item in reversed(list(enumerate(query.order_by))):
+            epilogue.append(
+                f"    out.sort(key=lambda _p: _sk(_p[1][{i}]), "
+                f"reverse={item.descending})"
+            )
+        epilogue.append("    return [_p[0] for _p in out]")
+    else:
+        epilogue.append("    return out")
+
+    lines = [
+        '"""Fused pipeline generated by repro.backends.pyloop.',
+        "",
+        f"plan digest: {plan.digest}",
+        f"query: {query}",
+        "",
+        "Call ``run(tables)`` with ``tables`` mapping each base-table name",
+        "to its rows (tuples in catalog column order, heap-scan order).",
+        '"""',
+        "",
+    ]
+    lines += [f"# note: {note}" for note in emitter.notes]
+    lines += ["", _PREAMBLE]
+    for aux in emitter.aux:
+        lines += ["", aux, ""]
+    lines += ["", "def run(tables):", "    out = []"]
+    lines += emitter.body
+    lines += epilogue
+    lines.append("")
+    return "\n".join(lines), tuple(emitter.notes)
+
+
+class PyLoopBackend:
+    """The ``pyloop`` backend: one generated Python function per plan,
+    falling back to the vectorized engine outside the fusable subset."""
+
+    name = "pyloop"
+    language = "python"
+
+    def compile_plan(
+        self, query: QueryBlock, plan: PlanNode, catalog: Any = None
+    ) -> CompiledPlan:
+        source, notes = generate_module(query, plan, catalog)
+        return CompiledPlan(
+            backend=self.name, language=self.language, text=source, notes=notes
+        )
+
+    def execute(self, query: QueryBlock, plan: PlanNode, database: Database) -> list[tuple]:
+        try:
+            compiled = self.compile_plan(query, plan, database.catalog)
+        except UnsupportedPlanError:
+            return self._fallback(query, plan, database)
+        namespace: dict[str, Any] = {}
+        exec(  # noqa: S102 - executing our own generated artifact
+            compile(compiled.text, f"<pyloop:{plan.digest}>", "exec"), namespace
+        )
+        tables = {
+            name: [row for _, row in database.table(name).scan()]
+            for name in database.base_table_names()
+        }
+        try:
+            return [tuple(row) for row in namespace["run"](tables)]
+        except Exception as exc:
+            raise BackendError(f"generated pipeline failed: {exc}") from exc
+
+    @staticmethod
+    def _fallback(query: QueryBlock, plan: PlanNode, database: Database) -> list[tuple]:
+        from repro.executor.runtime import QueryExecutor
+
+        return QueryExecutor(database, executor="vectorized").run(query, plan).rows
+
+    def supports(self, query: QueryBlock, plan: PlanNode) -> bool:
+        """Static shape check (compilation may still reject predicates
+        that reference columns the pipeline never binds; ``execute``
+        falls back in that case too)."""
+        for node in plan.nodes():
+            if node.op not in _FUSABLE_OPS:
+                return False
+            if node.op == ACCESS and (node.flavor == "temp" or node.inputs):
+                return False
+        return True

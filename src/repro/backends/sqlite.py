@@ -1,0 +1,119 @@
+"""Running emitted SQL against an in-memory SQLite database.
+
+This is the independent half of the differential oracle: the workload's
+base tables are loaded into stock SQLite (stdlib ``sqlite3``, no
+extensions), the :mod:`repro.backends.sql` artifact is executed there,
+and the resulting rows are compared — after
+:func:`~repro.backends.base.normalize_rows` — against the in-process
+engines.  Agreement then rests on an engine we did not write.
+
+Loading rules:
+
+* Every table gets a synthetic ``__tid INTEGER`` first column holding
+  the heap-scan ordinal of the row.  It stands in for the engine's
+  ``RID(page, slot)`` tuple identifiers: ``GET`` joins on it, DEDUP and
+  INTERSECT key on it.  The two TID systems never meet — ``#TID``
+  columns never appear in a final projection — so each side only has to
+  be internally consistent.
+* Column types come from the catalog (``int`` → INTEGER, ``float`` →
+  REAL, ``str`` → TEXT); Python ``bool`` values load as 0/1, which
+  :func:`~repro.backends.base.normalize_value` folds back together.
+* Connections are cached per :class:`~repro.storage.table.Database`
+  object (weakly, so dropping the database drops the mirror), because a
+  differential sweep runs hundreds of plans against the same data.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import weakref
+from typing import Any
+
+from repro.backends.base import CompiledPlan
+from repro.backends.sql import TID_SQL_COLUMN, SqlBackend, _q
+from repro.errors import BackendError
+from repro.plans.plan import PlanNode
+from repro.query.query import QueryBlock
+from repro.storage.table import Database
+
+_TYPE_MAP = {"int": "INTEGER", "float": "REAL", "str": "TEXT"}
+
+#: Per-Database connection cache (weak keys: dropping the Database
+#: drops its SQLite mirror).
+_CONNECTIONS: "weakref.WeakKeyDictionary[Database, sqlite3.Connection]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def load_database(database: Database) -> sqlite3.Connection:
+    """Mirror every base table of ``database`` into a fresh in-memory
+    SQLite connection (ignoring temps — the emitted SQL recreates those
+    as CTEs)."""
+    conn = sqlite3.connect(":memory:")
+    catalog = database.catalog
+    for name in database.base_table_names():
+        data = database.table(name)
+        tdef = catalog.table(name)
+        col_ddl = [f"{_q(TID_SQL_COLUMN)} INTEGER"]
+        for ref in data.schema:
+            ctype = _TYPE_MAP.get(tdef.column(ref.column).ctype, "")
+            col_ddl.append(f"{_q(ref.column)} {ctype}".rstrip())
+        conn.execute(f"CREATE TABLE {_q(name)} ({', '.join(col_ddl)})")
+        placeholders = ", ".join("?" for _ in range(len(data.schema) + 1))
+        insert = f"INSERT INTO {_q(name)} VALUES ({placeholders})"
+        rows = [
+            (ordinal, *row) for ordinal, (_, row) in enumerate(data.scan())
+        ]
+        if rows:
+            conn.executemany(insert, rows)
+    conn.commit()
+    return conn
+
+
+def connection_for(database: Database) -> sqlite3.Connection:
+    """The cached SQLite mirror of ``database`` (loaded on first use)."""
+    conn = _CONNECTIONS.get(database)
+    if conn is None:
+        conn = load_database(database)
+        _CONNECTIONS[database] = conn
+    return conn
+
+
+def run_sql(conn: sqlite3.Connection, sql: str) -> list[tuple]:
+    """Execute one emitted statement, translating SQLite complaints into
+    :class:`~repro.errors.BackendError` (an emitted artifact a stock
+    engine rejects is a backend bug, not a user error)."""
+    try:
+        cursor = conn.execute(sql)
+        return [tuple(row) for row in cursor.fetchall()]
+    except sqlite3.Error as exc:
+        raise BackendError(f"SQLite rejected emitted SQL: {exc}") from exc
+
+
+class SqliteBackend:
+    """The ``sqlite`` backend: compile via :class:`SqlBackend`, execute
+    on the in-memory SQLite mirror of the workload database."""
+
+    name = "sqlite"
+    language = "sql"
+
+    def __init__(self) -> None:
+        self._sql = SqlBackend()
+
+    def compile_plan(
+        self, query: QueryBlock, plan: PlanNode, catalog: Any = None
+    ) -> CompiledPlan:
+        compiled = self._sql.compile_plan(query, plan, catalog)
+        return CompiledPlan(
+            backend=self.name,
+            language=compiled.language,
+            text=compiled.text,
+            notes=compiled.notes,
+        )
+
+    def execute(self, query: QueryBlock, plan: PlanNode, database: Database) -> list[tuple]:
+        compiled = self._sql.compile_plan(query, plan, database.catalog)
+        return run_sql(connection_for(database), compiled.text)
+
+    def supports(self, query: QueryBlock, plan: PlanNode) -> bool:
+        return self._sql.supports(query, plan)

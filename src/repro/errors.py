@@ -83,6 +83,27 @@ class ExecutionError(ReproError):
     """The query evaluator failed while interpreting a plan."""
 
 
+class BackendError(ReproError):
+    """A plan-compilation backend failed (malformed plan, missing TID
+    stream, emitted artifact rejected by the target engine, ...)."""
+
+
+class UnsupportedPlanError(BackendError):
+    """A backend cannot lower this plan shape.
+
+    This is the *expected* escape hatch, not a bug: backends declare a
+    supported subset (see ``docs/backends.md``) and callers fall back to
+    the in-process engines for everything else.  Carries the offending
+    operator/reason so coverage reports can aggregate why plans fell
+    back."""
+
+    def __init__(self, reason: str, op: str | None = None):
+        self.reason = reason
+        self.op = op
+        message = reason if op is None else f"{op}: {reason}"
+        super().__init__(message)
+
+
 class CardinalityViolation(ExecutionError):
     """A runtime cardinality checkpoint tripped: the actual row count at a
     materialization point diverged from the property vector's CARD by more

@@ -1,0 +1,6 @@
+-- repro sql backend
+-- plan digest: f991b33db950d1e9
+-- query: SELECT EMP.NAME, DEPT.MGR FROM DEPT, EMP WHERE DEPT.DNO = EMP.DNO AND DEPT.MGR = 'Haas' ORDER BY EMP.NAME DESC
+-- note: SORT(EMP.NAME) elided: row-set comparison is order-insensitive and the outer query re-derives ORDER BY
+-- note: JOIN(HA) lowered to a predicate join: the merge/hash physical strategy does not change the row set
+SELECT q."EMP.NAME" AS "NAME", q."DEPT.MGR" AS "MGR" FROM (SELECT b4."DEPT.DNO" AS "DEPT.DNO", b4."DEPT.MGR" AS "DEPT.MGR", a3."EMP.DNO" AS "EMP.DNO", a3."EMP.NAME" AS "EMP.NAME" FROM (SELECT t1."DNO" AS "EMP.DNO", t1."NAME" AS "EMP.NAME" FROM "EMP" AS t1) AS a3, (SELECT t2."DNO" AS "DEPT.DNO", t2."MGR" AS "DEPT.MGR" FROM "DEPT" AS t2 WHERE (t2."MGR" IS NOT NULL AND t2."MGR" = 'Haas')) AS b4 WHERE (b4."DEPT.DNO" IS NOT NULL AND a3."EMP.DNO" IS NOT NULL AND b4."DEPT.DNO" = a3."EMP.DNO")) AS q ORDER BY q."EMP.NAME" DESC NULLS FIRST;

@@ -12,6 +12,12 @@ Two checks, both cheap and purely static:
    in ``src/repro/__main__.py`` must have a matching ``## `name```
    section in ``docs/cli.md``, and ``docs/cli.md`` must not document
    subcommands that no longer exist.
+3. **LOLEPOP lowering coverage** — the per-LOLEPOP table in
+   ``docs/backends.md`` must have exactly one row per operator
+   declared in ``src/repro/plans/operators.py`` (the ``NAME =
+   "NAME"`` module constants), and every row's operator must really
+   exist — both directions, so the lowering reference can neither rot
+   nor invent operators.
 
 Exit status 0 when clean, 1 with one ``error:`` line per problem.
 """
@@ -26,7 +32,9 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 CLI_DOC = REPO / "docs" / "cli.md"
+BACKENDS_DOC = REPO / "docs" / "backends.md"
 MAIN = SRC / "__main__.py"
+OPERATORS = SRC / "plans" / "operators.py"
 
 
 def public_modules() -> list[Path]:
@@ -93,16 +101,65 @@ def check_cli_doc() -> list[str]:
     return errors
 
 
+def declared_lolepops() -> set[str]:
+    """Operator names declared as ``NAME = "NAME"`` module constants in
+    ``plans/operators.py`` (flavor tuples and helpers don't match)."""
+    tree = ast.parse(OPERATORS.read_text(), filename=str(OPERATORS))
+    names = set()
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and node.targets[0].id == node.value.value
+        ):
+            names.add(node.targets[0].id)
+    return names
+
+
+def documented_lolepops() -> list[str]:
+    """First-cell operator names from docs/backends.md's per-LOLEPOP
+    lowering table: rows shaped ``| `OP` | ... |``."""
+    text = BACKENDS_DOC.read_text()
+    return re.findall(r"^\| `([A-Z]+)` \|", text, flags=re.MULTILINE)
+
+
+def check_backends_doc() -> list[str]:
+    if not BACKENDS_DOC.exists():
+        return [f"{BACKENDS_DOC.relative_to(REPO)}: missing"]
+    declared = declared_lolepops()
+    documented = documented_lolepops()
+    errors = []
+    for name in sorted(set(documented) - declared):
+        errors.append(
+            f"docs/backends.md: lowering table names operator {name!r} "
+            "which src/repro/plans/operators.py does not declare"
+        )
+    for name in sorted(declared - set(documented)):
+        errors.append(
+            f"docs/backends.md: operator {name!r} is declared in "
+            "src/repro/plans/operators.py but has no lowering-table row"
+        )
+    for name in sorted({n for n in documented if documented.count(n) > 1}):
+        errors.append(
+            f"docs/backends.md: operator {name!r} has more than one "
+            "lowering-table row"
+        )
+    return errors
+
+
 def main() -> int:
-    errors = check_docstrings() + check_cli_doc()
+    errors = check_docstrings() + check_cli_doc() + check_backends_doc()
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     modules = len(public_modules())
     subcommands = len(registered_subcommands())
+    lolepops = len(declared_lolepops())
     verdict = "PASS" if not errors else f"FAIL ({len(errors)} problem(s))"
     print(
         f"docs lint: {verdict} — {modules} module(s), "
-        f"{subcommands} subcommand(s) checked"
+        f"{subcommands} subcommand(s), {lolepops} LOLEPOP(s) checked"
     )
     return 1 if errors else 0
 
